@@ -1,0 +1,124 @@
+"""Ablation benchmarks beyond the paper's figures (DESIGN.md A1-A4).
+
+These probe the design choices the paper discusses qualitatively:
+
+* A1 — sensitivity of CFS availability to the correlated-failure
+  propagation probability *p* (the calibrated knob);
+* A2 — RAID geometry tier MTTDL: analytic Markov across (8+1)/(8+2)/(8+3);
+* A3 — the Table 5 disk replacement-time range (1-12 h);
+* A4 — spare-pool size 0/1/2/4 at petascale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cfs import ClusterModel, StorageModel, abe_parameters, petascale_parameters
+from repro.core import replicate_runs
+from repro.markov import RAIDTierMarkov
+from repro.raid import RAID5_8P1, RAID6_8P2, RAID_8P3
+
+from conftest import print_result
+
+
+def bench_a1_propagation_sensitivity(benchmark):
+    """A1: petascale CFS availability vs OSS propagation probability p."""
+
+    def sweep():
+        rows = []
+        for p in (0.0, 0.02, 0.045, 0.09):
+            params = replace(
+                petascale_parameters(), oss_hw_propagation_p=p, name=f"p={p}"
+            )
+            res = ClusterModel(params, base_seed=11).simulate(
+                hours=8760.0, n_replications=3
+            )
+            rows.append((p, res.cfs_availability.mean))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "\n".join(f"  p={p:<6} CFS availability {a:.4f}" for p, a in rows)
+    print_result("A1: propagation-probability sensitivity (petascale)", text)
+    # availability must decrease monotonically in p (within noise)
+    assert rows[0][1] > rows[-1][1]
+
+
+def bench_a2_raid_geometry_mttdl(benchmark):
+    """A2: analytic tier MTTDL for 8+1 / 8+2 / 8+3 at the fitted disk rate."""
+
+    def compute():
+        lam = 1.0 / 300_000.0
+        mu = 1.0 / 4.0
+        out = []
+        for cfg in (RAID5_8P1, RAID6_8P2, RAID_8P3):
+            mk = RAIDTierMarkov(
+                cfg.tier_size, cfg.fault_tolerance, lam, mu
+            )
+            out.append((cfg.label, mk.mttdl() / 8760.0))
+        return out
+
+    rows = benchmark(compute)
+    text = "\n".join(f"  {label:<5} MTTDL {years:,.0f} years" for label, years in rows)
+    print_result("A2: RAID geometry MTTDL (independent failures)", text)
+    assert rows[0][1] < rows[1][1] < rows[2][1]
+
+
+def bench_a3_replacement_time_sweep(benchmark):
+    """A3: petascale storage data-loss rate across the 1-12 h range."""
+
+    def sweep():
+        rows = []
+        for hours in (1.0, 4.0, 12.0):
+            params = petascale_parameters().with_disks(
+                shape=0.6, afr=0.0876, replacement_hours=hours
+            )
+            sm = StorageModel(params, base_seed=12)
+            exp = replicate_runs(
+                sm.simulator,
+                8760.0,
+                n_replications=4,
+                rewards=sm.measures.rewards,
+                extra_metrics=sm.measures.extra_metrics,
+            )
+            rows.append(
+                (
+                    hours,
+                    exp.estimate("storage_availability").mean,
+                    exp.estimate("data_loss_events").mean,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "\n".join(
+        f"  replace={h:>4}h  availability {a:.5f}  losses/yr {l:.2f}"
+        for h, a, l in rows
+    )
+    print_result("A3: disk replacement-time sweep (worst-case disks)", text)
+    # longer replacement window => no fewer data losses
+    assert rows[-1][2] >= rows[0][2] - 0.5
+
+
+def bench_a4_spare_pool_size(benchmark):
+    """A4: petascale CFS availability vs standby-spare pool size."""
+
+    def sweep():
+        rows = []
+        for n in (0, 1, 2, 4):
+            params = (
+                petascale_parameters().with_spare_oss(n)
+                if n
+                else petascale_parameters()
+            )
+            res = ClusterModel(params, base_seed=13).simulate(
+                hours=8760.0, n_replications=3
+            )
+            rows.append((n, res.cfs_availability.mean))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "\n".join(f"  spares={n}  CFS availability {a:.4f}" for n, a in rows)
+    print_result("A4: spare-pool size at petascale", text)
+    assert rows[1][1] > rows[0][1]  # one spare helps

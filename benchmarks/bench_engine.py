@@ -1,0 +1,123 @@
+"""Engine micro-benchmarks: flattening cost and event throughput.
+
+These guard the performance properties that make the petascale sweeps
+feasible: dependency-driven enabling means event cost is O(affected
+activities), not O(model size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfs import abe_parameters, petascale_parameters
+from repro.cfs.cluster import build_cluster_node
+from repro.core import (
+    SAN,
+    Exponential,
+    RateReward,
+    Simulator,
+    flatten,
+    replicate,
+)
+
+
+def _fleet_model(n_units: int):
+    unit = SAN("unit")
+    unit.place("up", 1)
+    unit.place("down_count", 0)
+    unit.timed(
+        "fail",
+        Exponential(0.01),
+        enabled=lambda m: m["up"] == 1,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 0),
+            m.__setitem__("down_count", m["down_count"] + 1),
+        ),
+    )
+    unit.timed(
+        "repair",
+        Exponential(0.1),
+        enabled=lambda m: m["up"] == 0,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 1),
+            m.__setitem__("down_count", m["down_count"] - 1),
+        ),
+    )
+    return replicate("fleet", unit, n_units, shared=["down_count"])
+
+
+def bench_flatten_abe_cluster(benchmark):
+    """Flattening the full ABE composition tree (1158 places)."""
+    params = abe_parameters()
+    model = benchmark(lambda: flatten(build_cluster_node(params)))
+    assert model.n_places > 1000
+
+
+def bench_flatten_petascale_cluster(benchmark):
+    """Flattening the petascale tree (~12k places, 4800 disks)."""
+    params = petascale_parameters()
+    model = benchmark.pedantic(
+        lambda: flatten(build_cluster_node(params)), rounds=2, iterations=1
+    )
+    assert model.n_places > 10_000
+
+
+def bench_event_throughput_small_fleet(benchmark):
+    """Raw event-processing rate on a 10-unit fleet (~1100 events)."""
+    model = flatten(_fleet_model(10))
+    sim = Simulator(model, base_seed=1)
+
+    def run():
+        return sim.run(10_000.0).n_events
+
+    events = benchmark(run)
+    assert events > 500
+
+
+def bench_event_throughput_large_fleet(benchmark):
+    """Event cost must not grow with fleet size (dependency-driven)."""
+    model = flatten(_fleet_model(500))
+    sim = Simulator(model, base_seed=2)
+
+    def run():
+        return sim.run(1_000.0).n_events
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 2_000
+
+
+def bench_abe_cluster_one_year(benchmark):
+    """One replication of the calibrated ABE model over a simulated year."""
+    from repro.cfs import ClusterModel
+
+    cm = ClusterModel(abe_parameters(), base_seed=3)
+    rw = cm.measures.rewards
+
+    def run():
+        return cm.simulator.run(8760.0, rewards=rw)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0.9 < result["cfs_availability"].time_average <= 1.0
+
+
+def bench_petascale_cluster_one_year(benchmark):
+    """One replication of the petascale model over a simulated year."""
+    from repro.cfs import ClusterModel
+
+    cm = ClusterModel(petascale_parameters(), base_seed=4)
+    rw = cm.measures.rewards
+
+    def run():
+        return cm.simulator.run(8760.0, rewards=rw)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert 0.8 < result["cfs_availability"].time_average <= 1.0
+
+
+def bench_statespace_exploration(benchmark):
+    """Exhaustive state-space generation of a 10-unit fleet (1024 states)."""
+    from repro.core import explore
+
+    model = flatten(_fleet_model(10))
+    ss = benchmark(lambda: explore(model))
+    assert ss.n_states == 1024

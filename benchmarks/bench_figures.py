@@ -1,0 +1,61 @@
+"""Benchmarks regenerating Figures 2-4 of the paper.
+
+Reduced sweeps (fewer steps/replications than ``run_*`` defaults) so a
+benchmark run completes in minutes; the printed series still exhibit the
+paper's shapes (orderings, anchors, crossovers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure2, run_figure3, run_figure4
+
+from conftest import print_result
+
+
+def bench_figure2_storage_availability(benchmark):
+    """Figure 2: storage availability vs scale for disk-failure configs."""
+    result = benchmark.pedantic(
+        lambda: run_figure2(n_steps=4, n_replications=4, hours=8760.0, base_seed=96),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(
+        "Figure 2 (paper: ~1.0 at ABE; worst configs degrade at petascale)",
+        result.format(),
+    )
+    for series in result.series:
+        assert series.points[0].estimate.mean > 0.99
+
+
+def bench_figure3_disk_replacements(benchmark):
+    """Figure 3: disks replaced per week vs fleet size and AFR."""
+    result = benchmark.pedantic(
+        lambda: run_figure3(n_steps=4, n_replications=4, hours=8760.0, base_seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(
+        "Figure 3 (paper: 0-2/week at ABE for AFR 2.92%; linear growth)",
+        result.format(),
+    )
+    abe = result.series_by_label("0.7,2.92,8+2,4").points[0]
+    assert 0.0 <= abe.estimate.mean <= 2.0
+
+
+def bench_figure4_cluster_availability(benchmark):
+    """Figure 4: storage/CFS availability, CU, and the spare-OSS variant."""
+    result = benchmark.pedantic(
+        lambda: run_figure4(n_steps=3, n_replications=4, hours=8760.0, base_seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(
+        "Figure 4 (paper: CFS 0.972 -> 0.909; spare OSS +3%; CU lowest)",
+        result.format(),
+    )
+    cfs = result.series_by_label("CFS-Availability").means()
+    assert cfs[0] > cfs[-1]
+    cu = result.series_by_label("CU").means()
+    assert all(c < a for c, a in zip(cu, cfs))

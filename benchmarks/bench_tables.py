@@ -1,0 +1,77 @@
+"""Benchmarks regenerating Tables 1-5 of the paper.
+
+Each benchmark times the full pipeline behind one table (simulation +
+log synthesis + analysis) and prints the regenerated rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.loggen import generate_abe_logs
+
+from conftest import print_result
+
+
+@pytest.fixture(scope="module")
+def shared_logs():
+    """One synthesized ABE log set shared by the table benches."""
+    return generate_abe_logs(seed=2013)
+
+
+def bench_table1_outage_notifications(benchmark, shared_logs):
+    """Table 1: outage notifications and SAN availability (0.97-0.98)."""
+    result = benchmark.pedantic(
+        lambda: run_table1(logs=shared_logs), rounds=3, iterations=1
+    )
+    print_result("Table 1 (paper: availability 0.97-0.98)", result.format())
+    assert 0.96 <= result.availability <= 0.985
+
+
+def bench_table1_full_pipeline(benchmark):
+    """Table 1 including log synthesis (simulation + generation + analysis)."""
+    result = benchmark.pedantic(
+        lambda: run_table1(seed=2013), rounds=1, iterations=1
+    )
+    assert result.table.rows
+
+
+def bench_table2_mount_failures(benchmark, shared_logs):
+    """Table 2: mount-failure storm days (counts 2-591)."""
+    result = benchmark.pedantic(
+        lambda: run_table2(logs=shared_logs), rounds=3, iterations=1
+    )
+    print_result("Table 2 (paper: 12 storm days, counts 2-591)", result.format())
+    assert result.n_storm_days >= 5
+
+
+def bench_table3_job_statistics(benchmark, shared_logs):
+    """Table 3: job kills by class (paper: 44085 / 1234 / 184)."""
+    result = benchmark.pedantic(
+        lambda: run_table3(logs=shared_logs), rounds=3, iterations=1
+    )
+    print_result("Table 3 (paper: 44085 jobs, 1234 transient, 184 other)", result.format())
+    s = result.statistics
+    assert s.failed_transient > 3 * s.failed_other
+
+
+def bench_table4_disk_survival(benchmark):
+    """Table 4: disk failure log + censored Weibull fit (beta ~ 0.7)."""
+    result = benchmark.pedantic(lambda: run_table4(), rounds=3, iterations=1)
+    print_result("Table 4 (paper: shape 0.696 +- 0.192)", result.format())
+    lo, hi = result.fit.shape_confidence_interval()
+    assert lo < 0.7 < hi
+
+
+def bench_table5_parameters(benchmark):
+    """Table 5: the model parameter presets against their ranges."""
+    result = benchmark.pedantic(lambda: run_table5(), rounds=10, iterations=1)
+    print_result("Table 5", result.format())
+    assert result.abe.n_disks == 480

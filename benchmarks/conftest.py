@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each ``bench_*`` module
+regenerates one table or figure of the paper (plus ablations beyond it)
+and prints the resulting rows/series, so a benchmark run doubles as a
+reproduction run.  Sweeps use reduced replication counts; the
+paper-fidelity versions live in ``repro.experiments`` (``full=True``).
+"""
+
+from __future__ import annotations
+
+
+def print_result(title: str, text: str) -> None:
+    """Print a regenerated artifact under a banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}")

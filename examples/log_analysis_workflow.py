@@ -1,0 +1,100 @@
+"""The Section 3 workflow: operational logs -> dependability estimates.
+
+Synthesizes an ABE operating period (compute-log 05/03-10/02/2007,
+SAN-log 09/05-11/30/2007), writes both logs to disk in the canonical
+format, re-parses them, and reruns every analysis of Section 3:
+
+* Table 1 - outage notifications and SAN availability;
+* Table 2 - mount-failure storm days;
+* Table 3 - job kill statistics and cluster utility;
+* Table 4 - disk survival analysis (censored Weibull fit).
+
+Because the logs come from a model with known ground truth, the script
+also reports estimator error — the loop closure the paper could not show.
+
+Run:  python examples/log_analysis_workflow.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    availability_from_outages,
+    fit_weibull_censored,
+    job_statistics,
+    jobs_from_events,
+    mount_failures_by_day,
+    pair_outages,
+    parse_file,
+)
+from repro.cfs import abe_parameters
+from repro.core import make_generator
+from repro.loggen import disk_survival_dataset, generate_abe_logs, write_log
+
+
+def main(out_dir: str | None = None) -> None:
+    t0 = time.time()
+    workdir = Path(out_dir) if out_dir else Path(tempfile.mkdtemp(prefix="abe-logs-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # ----- 1. synthesize and persist the logs -------------------------
+    print("synthesizing ABE operating period (seed 2013)...")
+    logs = generate_abe_logs(seed=2013)
+    san_path = workdir / "san.log"
+    compute_path = workdir / "compute.log"
+    n_san = write_log(logs.san_log.events, str(san_path))
+    n_compute = write_log(logs.compute_log.events, str(compute_path))
+    print(f"  wrote {n_san} SAN-log lines      -> {san_path}")
+    print(f"  wrote {n_compute} compute-log lines -> {compute_path}")
+
+    # ----- 2. parse from disk (lenient mode, like real ops data) ------
+    san = parse_file(san_path, strict=False)
+    compute = parse_file(compute_path, strict=False)
+    print(f"  re-parsed ({san.n_skipped}+{compute.n_skipped} lines skipped)")
+
+    # ----- 3. Table 1: availability from outage notifications ---------
+    w = logs.windows
+    outages = pair_outages(san.log.component("san", "batch"), window_end=w.san_end)
+    availability = availability_from_outages(outages, w.epoch, w.san_end)
+    truth = logs.ground_truth.cfs_availability
+    print(f"\nTable 1 analysis: {len(outages)} outages")
+    print(f"  estimated availability {availability:.4f}"
+          f"   ground truth {truth:.4f}   error {abs(availability-truth):.4f}")
+
+    # ----- 4. Table 2: mount-failure storms ---------------------------
+    storms = mount_failures_by_day(compute.log)
+    if storms:
+        biggest = max(storms.items(), key=lambda kv: kv[1])
+        print(f"\nTable 2 analysis: {len(storms)} storm days, "
+              f"largest {biggest[1]} nodes on {biggest[0]}")
+
+    # ----- 5. Table 3: job statistics ----------------------------------
+    jobs = jobs_from_events(compute.log)
+    stats = job_statistics(jobs)
+    print(f"\nTable 3 analysis:")
+    print("  " + stats.format().replace("\n", "\n  "))
+    print(f"  cluster utility {stats.cluster_utility:.4f}, "
+          f"transient:other = {stats.transient_to_other_ratio:.1f}")
+
+    # ----- 6. Table 4: disk survival analysis -------------------------
+    params = abe_parameters()
+    data = disk_survival_dataset(
+        params.n_disks, params.disk_lifetime, 5784.0, make_generator(496, "table4")
+    )
+    fit = fit_weibull_censored(data.durations, data.observed)
+    lo, hi = fit.shape_confidence_interval()
+    print(f"\nTable 4 analysis: {data.n_failures} failures across "
+          f"{params.n_disks} slots")
+    print(f"  Weibull shape {fit.shape:.3f} (95% CI [{lo:.2f}, {hi:.2f}]),"
+          f" ground truth 0.7, paper 0.696 +- 0.192")
+    print(f"  implied AFR {100*fit.afr:.2f}% (ground truth 2.92%)")
+
+    print(f"\ntotal {time.time() - t0:.0f}s; logs kept in {workdir}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

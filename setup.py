@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this project targets may lack the ``wheel`` package, in
+which case PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on full
+environments) work everywhere.  Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

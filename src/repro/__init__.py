@@ -1,0 +1,31 @@
+"""repro — dependability analysis of petascale cluster file systems.
+
+A from-scratch reproduction of *"Scaling File Systems to Support Petascale
+Clusters: A Dependability Analysis to Support Informed Design Choices"*
+(Gaonkar, Rozier, Tong, Sanders; DSN 2008).
+
+Subpackages
+-----------
+``repro.core``
+    Stochastic activity network formalism, composition, simulation,
+    rewards, experiments (the Möbius stand-in).
+``repro.markov``
+    Analytic CTMC oracles (steady-state, transient, MTTDL).
+``repro.analysis``
+    Failure-log analysis: parsing, episode filtering, availability,
+    censored Weibull survival fits, job statistics.
+``repro.loggen``
+    Synthetic operational-log generation from simulation traces.
+``repro.raid``
+    Disk / RAID-tier / controller / DDN-unit SAN submodels.
+``repro.cfs``
+    The ABE cluster file system model and its petascale scaling.
+``repro.experiments``
+    Regenerators for every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

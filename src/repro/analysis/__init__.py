@@ -1,0 +1,82 @@
+"""Failure-log analysis toolkit (Section 3 of the paper).
+
+Pipeline: parse (:mod:`parsing`) → filter into episodes/outages/storms
+(:mod:`filtering`) → estimate availability (:mod:`availability`), disk
+survival (:mod:`survival`), and job statistics (:mod:`jobs`).
+"""
+
+from .correlation import CorrelationResult, bucket_counts, workload_failure_correlation
+from .availability import (
+    DowntimeRow,
+    availability_from_outages,
+    availability_range,
+    downtime_table,
+    merge_overlapping,
+    total_downtime_hours,
+)
+from .events import SEVERITIES, EventLog, LogEvent
+from .filtering import (
+    Episode,
+    Outage,
+    Storm,
+    coalesce_episodes,
+    detect_storms,
+    mount_failures_by_day,
+    pair_outages,
+)
+from .jobs import (
+    COMPLETED,
+    FAILED_OTHER,
+    FAILED_TRANSIENT,
+    JobRecord,
+    JobStatistics,
+    job_statistics,
+    jobs_from_events,
+)
+from .parsing import ParseReport, format_event, parse_file, parse_line, parse_lines
+from .survival import (
+    ExponentialFit,
+    KaplanMeier,
+    WeibullFit,
+    fit_exponential_censored,
+    fit_weibull_censored,
+)
+
+__all__ = [
+    "CorrelationResult",
+    "bucket_counts",
+    "workload_failure_correlation",
+    "LogEvent",
+    "EventLog",
+    "SEVERITIES",
+    "parse_line",
+    "parse_lines",
+    "parse_file",
+    "format_event",
+    "ParseReport",
+    "Episode",
+    "Outage",
+    "Storm",
+    "coalesce_episodes",
+    "pair_outages",
+    "detect_storms",
+    "mount_failures_by_day",
+    "DowntimeRow",
+    "downtime_table",
+    "availability_from_outages",
+    "availability_range",
+    "merge_overlapping",
+    "total_downtime_hours",
+    "KaplanMeier",
+    "WeibullFit",
+    "ExponentialFit",
+    "fit_weibull_censored",
+    "fit_exponential_censored",
+    "JobRecord",
+    "JobStatistics",
+    "job_statistics",
+    "jobs_from_events",
+    "COMPLETED",
+    "FAILED_TRANSIENT",
+    "FAILED_OTHER",
+]

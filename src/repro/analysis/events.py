@@ -1,0 +1,189 @@
+"""Log event records and containers.
+
+The paper works from two operational logs of the ABE cluster —
+*compute-logs* (05/03/2007–10/02/2007) and *SAN-logs*
+(09/05/2007–11/30/2007) — in which "events are reported with the node IP
+addresses and the event time appended to the log information".  This
+module defines the in-memory representation of such logs: a
+:class:`LogEvent` per line and an :class:`EventLog` container with the
+window/category queries the analyses in Section 3 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, timedelta
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..core.errors import AnalysisError
+
+__all__ = ["LogEvent", "EventLog", "SEVERITIES"]
+
+SEVERITIES = ("DEBUG", "INFO", "WARN", "ERROR", "FATAL")
+
+
+@dataclass(frozen=True, order=True)
+class LogEvent:
+    """One log line, normalized.
+
+    Attributes
+    ----------
+    timestamp:
+        Event time (naive local time, like syslog).
+    source:
+        Emitting node, e.g. ``oss-03``, ``compute-0412``, ``ddn-0``.
+    component:
+        Subsystem: ``san``, ``oss``, ``network``, ``disk``, ``batch``,
+        ``filesystem``, ``job``, ...
+    severity:
+        One of :data:`SEVERITIES`.
+    event_type:
+        Machine-readable type, e.g. ``io_hw_failure``, ``outage_end``,
+        ``mount_failure``, ``disk_replaced``, ``job_end``.
+    message:
+        Human-readable text.
+    attrs:
+        Additional key=value payload (job status, disk slot, ...).
+    """
+
+    timestamp: datetime
+    source: str = field(compare=False)
+    component: str = field(compare=False)
+    severity: str = field(compare=False)
+    event_type: str = field(compare=False)
+    message: str = field(compare=False, default="")
+    attrs: Mapping[str, str] = field(compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise AnalysisError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+        if not self.source:
+            raise AnalysisError("event source must be non-empty")
+        if not self.event_type:
+            raise AnalysisError("event type must be non-empty")
+
+    @property
+    def day(self) -> date:
+        """Calendar day of the event."""
+        return self.timestamp.date()
+
+    def attr(self, key: str, default: str | None = None) -> str | None:
+        """Payload attribute with default."""
+        return self.attrs.get(key, default)
+
+
+class EventLog:
+    """A time-sorted collection of :class:`LogEvent`.
+
+    The container is immutable-ish: combinators return new logs, so
+    analysis pipelines can be written declaratively::
+
+        outages = log.component("san").types("outage_start", "outage_end")
+    """
+
+    def __init__(self, events: Iterable[LogEvent] = ()) -> None:
+        self._events = sorted(events, key=lambda e: e.timestamp)
+
+    # -- basic container protocol ------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> LogEvent:
+        return self._events[idx]
+
+    def __add__(self, other: "EventLog") -> "EventLog":
+        return EventLog(list(self._events) + list(other._events))
+
+    @property
+    def events(self) -> list[LogEvent]:
+        """All events, oldest first."""
+        return list(self._events)
+
+    # -- window handling ----------------------------------------------
+    @property
+    def start(self) -> datetime:
+        """Timestamp of the first event."""
+        if not self._events:
+            raise AnalysisError("empty log has no start")
+        return self._events[0].timestamp
+
+    @property
+    def end(self) -> datetime:
+        """Timestamp of the last event."""
+        if not self._events:
+            raise AnalysisError("empty log has no end")
+        return self._events[-1].timestamp
+
+    def span_hours(self) -> float:
+        """Hours between first and last event."""
+        return (self.end - self.start).total_seconds() / 3600.0
+
+    def between(self, start: datetime, end: datetime) -> "EventLog":
+        """Events with ``start <= timestamp < end``."""
+        return EventLog(e for e in self._events if start <= e.timestamp < end)
+
+    # -- filtering combinators -----------------------------------------
+    def filter(self, predicate: Callable[[LogEvent], bool]) -> "EventLog":
+        """Generic predicate filter."""
+        return EventLog(e for e in self._events if predicate(e))
+
+    def component(self, *components: str) -> "EventLog":
+        """Keep events from the given subsystem(s)."""
+        keep = set(components)
+        return self.filter(lambda e: e.component in keep)
+
+    def types(self, *event_types: str) -> "EventLog":
+        """Keep events of the given type(s)."""
+        keep = set(event_types)
+        return self.filter(lambda e: e.event_type in keep)
+
+    def severity_at_least(self, severity: str) -> "EventLog":
+        """Keep events at or above a severity level."""
+        if severity not in SEVERITIES:
+            raise AnalysisError(f"unknown severity {severity!r}")
+        threshold = SEVERITIES.index(severity)
+        return self.filter(lambda e: SEVERITIES.index(e.severity) >= threshold)
+
+    def from_sources(self, *sources: str) -> "EventLog":
+        """Keep events from the given node(s)."""
+        keep = set(sources)
+        return self.filter(lambda e: e.source in keep)
+
+    # -- aggregation ----------------------------------------------------
+    def sources(self) -> list[str]:
+        """Distinct sources, sorted."""
+        return sorted({e.source for e in self._events})
+
+    def count_by_day(self) -> dict[date, int]:
+        """Events per calendar day (used for Table 2-style summaries)."""
+        counts: dict[date, int] = {}
+        for e in self._events:
+            counts[e.day] = counts.get(e.day, 0) + 1
+        return counts
+
+    def count_by_type(self) -> dict[str, int]:
+        """Events per event type."""
+        counts: dict[str, int] = {}
+        for e in self._events:
+            counts[e.event_type] = counts.get(e.event_type, 0) + 1
+        return counts
+
+    def daily_sources(self) -> dict[date, set[str]]:
+        """Distinct sources seen per day (mount-failure storm analysis)."""
+        out: dict[date, set[str]] = {}
+        for e in self._events:
+            out.setdefault(e.day, set()).add(e.source)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._events:
+            return "EventLog(empty)"
+        return (
+            f"EventLog({len(self._events)} events, "
+            f"{self.start.isoformat()} .. {self.end.isoformat()})"
+        )

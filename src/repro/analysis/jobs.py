@@ -1,0 +1,135 @@
+"""Job-log statistics and cluster utility.
+
+Reproduces the Table 3 analysis: from the compute-logs, classify every
+submitted job as completed, killed by a transient network error, or killed
+by another (file-system/software) error, and derive the *cluster utility*
+
+    CU = 1 − failed jobs / submitted jobs
+
+— the user-perceived availability metric of Section 4.2.  The paper's
+headline: transient network errors killed 1234 of 44085 jobs, five times
+the 184 killed by all other error classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Iterable, Sequence
+
+from ..core.errors import AnalysisError
+from .events import EventLog, LogEvent
+
+__all__ = ["JobRecord", "JobStatistics", "job_statistics", "jobs_from_events"]
+
+COMPLETED = "completed"
+FAILED_TRANSIENT = "failed_transient"
+FAILED_OTHER = "failed_other"
+_STATUSES = (COMPLETED, FAILED_TRANSIENT, FAILED_OTHER)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One batch job's outcome."""
+
+    job_id: str
+    submit_time: datetime
+    duration_hours: float
+    status: str
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise AnalysisError(
+                f"job {self.job_id!r}: unknown status {self.status!r}; "
+                f"expected one of {_STATUSES}"
+            )
+        if self.duration_hours < 0.0:
+            raise AnalysisError(f"job {self.job_id!r}: negative duration")
+
+
+@dataclass(frozen=True)
+class JobStatistics:
+    """Aggregated job outcomes (the Table 3 regenerator)."""
+
+    total: int
+    completed: int
+    failed_transient: int
+    failed_other: int
+
+    @property
+    def failed(self) -> int:
+        """All failed jobs."""
+        return self.failed_transient + self.failed_other
+
+    @property
+    def cluster_utility(self) -> float:
+        """CU = 1 − failed/total."""
+        if self.total == 0:
+            raise AnalysisError("no jobs")
+        return 1.0 - self.failed / self.total
+
+    @property
+    def transient_to_other_ratio(self) -> float:
+        """How many times likelier a transient kill is than any other kill.
+
+        The paper reports ≈ 5 for ABE (1234 vs 184... their text says "5
+        times more likely"; 1234/184 ≈ 6.7 — we report the raw ratio and
+        let callers round).
+        """
+        if self.failed_other == 0:
+            raise AnalysisError("no non-transient failures; ratio undefined")
+        return self.failed_transient / self.failed_other
+
+    def format(self) -> str:
+        """Render the three Table 3 rows."""
+        return "\n".join(
+            [
+                f"Total jobs submitted                       {self.total:>6}",
+                f"Total failures due to transient network    {self.failed_transient:>6}",
+                f"Total failures due to other/file system    {self.failed_other:>6}",
+            ]
+        )
+
+
+def job_statistics(jobs: Iterable[JobRecord]) -> JobStatistics:
+    """Aggregate job records into :class:`JobStatistics`."""
+    total = completed = transient = other = 0
+    for job in jobs:
+        total += 1
+        if job.status == COMPLETED:
+            completed += 1
+        elif job.status == FAILED_TRANSIENT:
+            transient += 1
+        else:
+            other += 1
+    if total == 0:
+        raise AnalysisError("no jobs to aggregate")
+    return JobStatistics(total, completed, transient, other)
+
+
+def jobs_from_events(log: EventLog, end_type: str = "job_end") -> list[JobRecord]:
+    """Extract job records from ``job_end`` events.
+
+    Expected attributes on each event: ``job`` (id), ``status`` (one of
+    ``completed`` / ``failed_transient`` / ``failed_other``), and
+    ``hours`` (run time).
+    """
+    jobs: list[JobRecord] = []
+    for event in log.types(end_type):
+        job_id = event.attr("job")
+        status = event.attr("status")
+        hours = event.attr("hours")
+        if job_id is None or status is None or hours is None:
+            raise AnalysisError(
+                f"malformed {end_type!r} event at {event.timestamp.isoformat()}: "
+                "needs job=, status=, hours="
+            )
+        jobs.append(
+            JobRecord(
+                job_id=job_id,
+                submit_time=event.timestamp,
+                duration_hours=float(hours),
+                status=status,
+            )
+        )
+    return jobs

@@ -1,0 +1,183 @@
+"""Parsing of the syslog-like operational log format.
+
+The canonical line format written by :mod:`repro.loggen` (and accepted
+here) is::
+
+    2007-07-21T23:03:00 host=oss-03 comp=san sev=ERROR type=io_hw_failure \
+        msg="RAID controller fault on port 3" tier=12 port=3
+
+i.e. an ISO-8601 timestamp followed by space-separated ``key=value``
+tokens; values containing spaces are double-quoted (with ``\\"`` and
+``\\\\`` escapes).  ``host``, ``comp``, ``sev`` and ``type`` are required;
+``msg`` is optional; every other key lands in ``attrs``.
+
+Real logs are messy, so the parser supports a lenient mode (the default is
+strict) that skips malformed lines and reports them instead of raising —
+mirroring the preprocessing step the paper describes ("we filter failure
+logs based on temporal and causal relationships between events").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+from typing import Iterable
+
+from ..core.errors import ParseError
+from .events import SEVERITIES, EventLog, LogEvent
+
+__all__ = ["parse_line", "parse_lines", "parse_file", "format_event", "ParseReport"]
+
+_REQUIRED_KEYS = ("host", "comp", "sev", "type")
+
+
+def _tokenize(body: str, lineno: int) -> list[tuple[str, str]]:
+    """Split ``key=value`` tokens, honouring double quotes in values."""
+    pairs: list[tuple[str, str]] = []
+    i, n = 0, len(body)
+    while i < n:
+        while i < n and body[i] == " ":
+            i += 1
+        if i >= n:
+            break
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ParseError(f"line {lineno}: token without '=': {body[i:i+40]!r}")
+        key = body[i:eq]
+        if not key or " " in key:
+            raise ParseError(f"line {lineno}: malformed key {key!r}")
+        i = eq + 1
+        if i < n and body[i] == '"':
+            i += 1
+            chars: list[str] = []
+            while i < n:
+                c = body[i]
+                if c == "\\" and i + 1 < n:
+                    chars.append(body[i + 1])
+                    i += 2
+                    continue
+                if c == '"':
+                    i += 1
+                    break
+                chars.append(c)
+                i += 1
+            else:
+                raise ParseError(f"line {lineno}: unterminated quote for {key!r}")
+            value = "".join(chars)
+        else:
+            j = body.find(" ", i)
+            if j < 0:
+                j = n
+            value = body[i:j]
+            i = j
+        pairs.append((key, value))
+    return pairs
+
+
+def parse_line(line: str, lineno: int = 0) -> LogEvent:
+    """Parse one log line into a :class:`LogEvent`.
+
+    Raises :class:`~repro.core.errors.ParseError` on malformed input.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        raise ParseError(f"line {lineno}: empty or comment line")
+    try:
+        ts_text, _, body = stripped.partition(" ")
+        timestamp = datetime.fromisoformat(ts_text)
+    except ValueError as exc:
+        raise ParseError(f"line {lineno}: bad timestamp {stripped[:30]!r}") from exc
+    pairs = _tokenize(body, lineno)
+    fields = dict(pairs)
+    if len(fields) != len(pairs):
+        raise ParseError(f"line {lineno}: duplicate keys")
+    missing = [k for k in _REQUIRED_KEYS if k not in fields]
+    if missing:
+        raise ParseError(f"line {lineno}: missing required keys {missing}")
+    severity = fields.pop("sev")
+    if severity not in SEVERITIES:
+        raise ParseError(f"line {lineno}: unknown severity {severity!r}")
+    host = fields.pop("host")
+    component = fields.pop("comp")
+    event_type = fields.pop("type")
+    message = fields.pop("msg", "")
+    return LogEvent(
+        timestamp=timestamp,
+        source=host,
+        component=component,
+        severity=severity,
+        event_type=event_type,
+        message=message,
+        attrs=fields,
+    )
+
+
+@dataclass
+class ParseReport:
+    """Outcome of a lenient parse: the events plus skipped-line diagnostics."""
+
+    log: EventLog
+    errors: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def n_skipped(self) -> int:
+        """Number of lines that failed to parse."""
+        return len(self.errors)
+
+
+def parse_lines(lines: Iterable[str], strict: bool = True) -> ParseReport:
+    """Parse many lines.
+
+    In strict mode the first malformed line raises; in lenient mode
+    malformed lines are recorded in :attr:`ParseReport.errors` (blank lines
+    and ``#`` comments are skipped silently in both modes).
+    """
+    events: list[LogEvent] = []
+    errors: list[tuple[int, str]] = []
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            events.append(parse_line(stripped, lineno))
+        except ParseError as exc:
+            if strict:
+                raise
+            errors.append((lineno, str(exc)))
+    return ParseReport(EventLog(events), errors)
+
+
+def parse_file(path: str | Path, strict: bool = True) -> ParseReport:
+    """Parse a log file from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_lines(fh, strict=strict)
+
+
+def _quote(value: str) -> str:
+    if value and " " not in value and '"' not in value and "\\" not in value:
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def format_event(event: LogEvent) -> str:
+    """Render a :class:`LogEvent` back to the canonical line format.
+
+    ``parse_line(format_event(e))`` round-trips (timestamps at second
+    precision or finer are preserved by ISO format).
+    """
+    parts = [
+        event.timestamp.isoformat(),
+        f"host={_quote(event.source)}",
+        f"comp={_quote(event.component)}",
+        f"sev={event.severity}",
+        f"type={_quote(event.event_type)}",
+    ]
+    if event.message:
+        parts.append(f"msg={_quote(event.message)}")
+    for key in sorted(event.attrs):
+        if key in ("host", "comp", "sev", "type", "msg"):
+            raise ParseError(f"attribute key {key!r} collides with a reserved field")
+        parts.append(f"{key}={_quote(str(event.attrs[key]))}")
+    return " ".join(parts)

@@ -1,0 +1,286 @@
+"""Survival analysis of disk failure data.
+
+Reproduces the Table 4 statistics: "Survival analysis of the disk failures
+(n = 480) using Weibull regression (in log relative-hazard form) gives the
+shape parameter as 0.6963571 with standard deviation of 0.1923109 (95%
+confidence interval)".
+
+The estimation problem is right-censored: during the observation window
+most of the 480 disks *did not fail* — their (unknown) lifetimes exceed
+their time in service.  We provide:
+
+* :class:`KaplanMeier` — the nonparametric survival curve;
+* :func:`fit_weibull_censored` — maximum-likelihood Weibull fit for
+  right-censored data, with standard errors from the observed information
+  matrix (reported for log-shape, matching the "log relative-hazard form"
+  the paper quotes);
+* :func:`fit_exponential_censored` — the one-parameter special case, whose
+  closed form (total failures / total exposure) estimates the MTBF used in
+  Section 5.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..core.distributions import HOURS_PER_YEAR, Weibull
+from ..core.errors import FitError
+
+__all__ = [
+    "KaplanMeier",
+    "WeibullFit",
+    "ExponentialFit",
+    "fit_weibull_censored",
+    "fit_exponential_censored",
+]
+
+
+class KaplanMeier:
+    """Product-limit estimator of the survival function.
+
+    Parameters
+    ----------
+    durations:
+        Time in service of each unit (hours).
+    observed:
+        True where the unit failed at its duration; False where it was
+        right-censored (still alive when observation stopped).
+    """
+
+    def __init__(self, durations: Sequence[float], observed: Sequence[bool]) -> None:
+        t = np.asarray(durations, dtype=float)
+        d = np.asarray(observed, dtype=bool)
+        if t.shape != d.shape or t.ndim != 1:
+            raise FitError("durations and observed must be 1-D and equal length")
+        if t.size == 0:
+            raise FitError("no observations")
+        if np.any(t < 0.0):
+            raise FitError("durations must be non-negative")
+        order = np.argsort(t, kind="stable")
+        t, d = t[order], d[order]
+
+        times: list[float] = []
+        survival: list[float] = []
+        at_risk = t.size
+        s = 1.0
+        i = 0
+        while i < t.size:
+            j = i
+            deaths = 0
+            while j < t.size and t[j] == t[i]:
+                deaths += int(d[j])
+                j += 1
+            if deaths > 0:
+                s *= 1.0 - deaths / at_risk
+                times.append(float(t[i]))
+                survival.append(s)
+            at_risk -= j - i
+            i = j
+        self.event_times = np.asarray(times)
+        self.survival_values = np.asarray(survival)
+        self.n = int(t.size)
+        self.n_events = int(d.sum())
+
+    def survival(self, t: float) -> float:
+        """Estimated ``P(T > t)``."""
+        if t < 0.0:
+            return 1.0
+        idx = int(np.searchsorted(self.event_times, t, side="right"))
+        return 1.0 if idx == 0 else float(self.survival_values[idx - 1])
+
+    def median(self) -> float:
+        """Smallest event time with survival <= 0.5 (inf if never reached)."""
+        below = np.nonzero(self.survival_values <= 0.5)[0]
+        return float(self.event_times[below[0]]) if below.size else math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KaplanMeier(n={self.n}, events={self.n_events})"
+
+
+@dataclass(frozen=True)
+class WeibullFit:
+    """Censored Weibull MLE result.
+
+    ``se_log_shape`` is the standard error of ``log(shape)`` — the scale on
+    which the likelihood is close to quadratic and the scale implied by
+    the paper's "log relative-hazard form" regression.  ``se_shape`` is the
+    delta-method transform back to the shape itself.
+    """
+
+    shape: float
+    scale: float
+    se_shape: float
+    se_log_shape: float
+    se_log_scale: float
+    log_likelihood: float
+    n: int
+    n_events: int
+
+    @property
+    def mtbf_hours(self) -> float:
+        """Mean lifetime implied by the fit."""
+        return Weibull(self.shape, self.scale).mean()
+
+    @property
+    def afr(self) -> float:
+        """Annualized failure rate implied by the fitted mean."""
+        return HOURS_PER_YEAR / self.mtbf_hours
+
+    def shape_confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """CI for the shape, exponentiating the log-scale interval."""
+        lo = self.shape * math.exp(-z * self.se_log_shape)
+        hi = self.shape * math.exp(z * self.se_log_shape)
+        return lo, hi
+
+    def distribution(self) -> Weibull:
+        """The fitted lifetime law."""
+        return Weibull(self.shape, self.scale)
+
+
+def _check_censored_inputs(
+    durations: Sequence[float], observed: Sequence[bool]
+) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(durations, dtype=float)
+    d = np.asarray(observed, dtype=bool)
+    if t.shape != d.shape or t.ndim != 1:
+        raise FitError("durations and observed must be 1-D and equal length")
+    if t.size == 0:
+        raise FitError("no observations")
+    if np.any(t <= 0.0):
+        raise FitError("durations must be positive for parametric fits")
+    if not d.any():
+        raise FitError("no failures observed; the likelihood is unbounded")
+    return t, d
+
+
+def fit_weibull_censored(
+    durations: Sequence[float], observed: Sequence[bool]
+) -> WeibullFit:
+    """Maximum-likelihood Weibull fit for right-censored lifetimes.
+
+    The log-likelihood, with β the shape and η the scale::
+
+        L(β, η) = Σ_fail [ln β − β ln η + (β−1) ln t − (t/η)^β]
+                  + Σ_cens [ −(t/η)^β ]
+
+    is maximized over (ln β, ln η); standard errors come from the inverse
+    of the numerically evaluated observed information matrix.
+    """
+    t, d = _check_censored_inputs(durations, observed)
+    log_t = np.log(t)
+    n_events = int(d.sum())
+
+    def negloglik(params: np.ndarray) -> float:
+        log_beta, log_eta = params
+        beta = math.exp(log_beta)
+        z = np.exp(np.clip(beta * (log_t - log_eta), -700.0, 700.0))
+        ll_fail = np.sum(
+            d * (log_beta - beta * log_eta + (beta - 1.0) * log_t)
+        )
+        return float(-(ll_fail - z.sum()))
+
+    # Moment-style starting point: exponential fit for the scale.
+    total_exposure = float(t.sum())
+    eta0 = total_exposure / n_events
+    x0 = np.array([0.0, math.log(eta0)])
+    result = optimize.minimize(
+        negloglik,
+        x0,
+        method="Nelder-Mead",
+        options={"xatol": 1e-8, "fatol": 1e-10, "maxiter": 20_000, "maxfev": 20_000},
+    )
+    if not result.success:
+        raise FitError(f"Weibull MLE failed to converge: {result.message}")
+    polished = optimize.minimize(negloglik, result.x, method="BFGS")
+    if polished.fun <= result.fun:
+        result = polished
+
+    log_beta, log_eta = result.x
+    hessian = _numeric_hessian(negloglik, result.x)
+    try:
+        cov = np.linalg.inv(hessian)
+    except np.linalg.LinAlgError as exc:
+        raise FitError("observed information matrix is singular") from exc
+    if cov[0, 0] <= 0.0 or cov[1, 1] <= 0.0:
+        raise FitError("observed information matrix is not positive definite")
+
+    beta = math.exp(log_beta)
+    se_log_shape = math.sqrt(cov[0, 0])
+    return WeibullFit(
+        shape=beta,
+        scale=math.exp(log_eta),
+        se_shape=beta * se_log_shape,
+        se_log_shape=se_log_shape,
+        se_log_scale=math.sqrt(cov[1, 1]),
+        log_likelihood=-float(result.fun),
+        n=int(t.size),
+        n_events=n_events,
+    )
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Censored exponential MLE: rate = failures / total exposure."""
+
+    rate: float
+    se_rate: float
+    n: int
+    n_events: int
+
+    @property
+    def mtbf_hours(self) -> float:
+        """Implied mean time between failures."""
+        return 1.0 / self.rate
+
+    @property
+    def afr(self) -> float:
+        """Implied annualized failure rate."""
+        return HOURS_PER_YEAR * self.rate
+
+
+def fit_exponential_censored(
+    durations: Sequence[float], observed: Sequence[bool]
+) -> ExponentialFit:
+    """Closed-form censored exponential fit (λ̂ = events / exposure)."""
+    t, d = _check_censored_inputs(durations, observed)
+    n_events = int(d.sum())
+    exposure = float(t.sum())
+    rate = n_events / exposure
+    return ExponentialFit(
+        rate=rate,
+        se_rate=rate / math.sqrt(n_events),
+        n=int(t.size),
+        n_events=n_events,
+    )
+
+
+def _numeric_hessian(fn, x: np.ndarray, rel_step: float = 1e-4) -> np.ndarray:
+    """Central-difference Hessian of a scalar function of a small vector."""
+    n = x.size
+    h = np.maximum(np.abs(x), 1.0) * rel_step
+    hess = np.zeros((n, n))
+    f0 = fn(x)
+    for i in range(n):
+        for j in range(i, n):
+            if i == j:
+                xp, xm = x.copy(), x.copy()
+                xp[i] += h[i]
+                xm[i] -= h[i]
+                hess[i, i] = (fn(xp) - 2.0 * f0 + fn(xm)) / (h[i] ** 2)
+            else:
+                xpp, xpm, xmp, xmm = x.copy(), x.copy(), x.copy(), x.copy()
+                xpp[[i, j]] += [h[i], h[j]]
+                xpm[i] += h[i]
+                xpm[j] -= h[j]
+                xmp[i] -= h[i]
+                xmp[j] += h[j]
+                xmm[[i, j]] -= [h[i], h[j]]
+                hess[i, j] = hess[j, i] = (
+                    fn(xpp) - fn(xpm) - fn(xmp) + fn(xmm)
+                ) / (4.0 * h[i] * h[j])
+    return hess

@@ -1,0 +1,94 @@
+"""The ABE cluster-file-system model and its petascale scaling."""
+
+from .checkpoint import (
+    CheckpointModel,
+    checkpoint_write_hours,
+    efficiency_at_scale,
+    young_interval,
+)
+from .cluster import (
+    DEFAULT_HOURS,
+    ClusterModel,
+    ClusterResult,
+    StorageModel,
+    build_cluster_node,
+    build_storage_only_model,
+)
+from .components import (
+    build_client_network_node,
+    build_oss_layer_node,
+    build_oss_pair_node,
+    build_oss_san_network_node,
+    build_san_fabric_san,
+    build_storage_node,
+)
+from .failures import OUTAGE_CAUSES, FailureClass, FailureSite
+from .measures import (
+    build_measures,
+    build_storage_measures,
+    cfs_availability_reward,
+    cfs_up_predicate,
+    cluster_utility_from_run,
+    disk_replacement_reward,
+    perceived_availability_reward,
+    storage_availability_reward,
+)
+from .parameters import (
+    TABLE5_RANGES,
+    CFSParameters,
+    abe_parameters,
+    petascale_parameters,
+)
+from .scaling import (
+    CAPACITY_GROWTH_PER_YEAR,
+    disk_capacity_tb,
+    scale_step,
+    scaling_series,
+    storage_axis_tb,
+)
+from .sensitivity import DESIGN_KNOBS, SensitivityEntry, SensitivityResult, tornado
+from .spares import build_spare_dock_san
+
+__all__ = [
+    "CheckpointModel",
+    "checkpoint_write_hours",
+    "efficiency_at_scale",
+    "young_interval",
+    "CFSParameters",
+    "abe_parameters",
+    "petascale_parameters",
+    "TABLE5_RANGES",
+    "ClusterModel",
+    "StorageModel",
+    "ClusterResult",
+    "build_cluster_node",
+    "build_storage_only_model",
+    "DEFAULT_HOURS",
+    "build_oss_pair_node",
+    "build_oss_layer_node",
+    "build_oss_san_network_node",
+    "build_san_fabric_san",
+    "build_client_network_node",
+    "build_storage_node",
+    "build_spare_dock_san",
+    "tornado",
+    "DESIGN_KNOBS",
+    "SensitivityEntry",
+    "SensitivityResult",
+    "FailureClass",
+    "FailureSite",
+    "OUTAGE_CAUSES",
+    "storage_availability_reward",
+    "cfs_availability_reward",
+    "perceived_availability_reward",
+    "disk_replacement_reward",
+    "cfs_up_predicate",
+    "cluster_utility_from_run",
+    "build_measures",
+    "build_storage_measures",
+    "scale_step",
+    "scaling_series",
+    "storage_axis_tb",
+    "disk_capacity_tb",
+    "CAPACITY_GROWTH_PER_YEAR",
+]

@@ -1,0 +1,176 @@
+"""Checkpoint/restart analysis — the paper's motivating storage workload.
+
+The introduction motivates the whole study with checkpointing: "Long et
+al. ... were able to estimate that more than half the computation time
+would be spent checkpointing the application state due to the time spent
+in transferring the application state to the persistent storage."  This
+module quantifies that coupling between the CFS and application goodput:
+
+* :class:`CheckpointModel` — the classic exponential-failure renewal
+  model of periodic checkpointing.  For failure rate ``λ = 1/MTBF``,
+  checkpoint write time ``δ`` and restart cost ``R``, the expected wall
+  time to commit one segment of ``T`` hours of useful work is exact
+  (Daly 2006):
+
+      E[wall per segment] = e^(λR) (e^(λ(T+δ)) − 1) / λ
+
+  Efficiency is ``T / E[wall]``; the optimal ``T`` is found numerically
+  and agrees with Young's ``√(2δ·MTBF)`` in the small-overhead limit.
+* :func:`checkpoint_write_hours` — the I/O-side of the story: writing the
+  aggregate application state through the CFS's sustainable bandwidth.
+* :func:`efficiency_at_scale` — combines the calibrated cluster model's
+  simulated failure behaviour with the I/O model to reproduce the
+  motivating claim: at petascale, naive checkpointing eats a large
+  fraction of the machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import optimize
+
+from ..core.errors import ParameterError
+from .parameters import CFSParameters
+
+__all__ = [
+    "CheckpointModel",
+    "checkpoint_write_hours",
+    "efficiency_at_scale",
+    "young_interval",
+]
+
+
+def young_interval(checkpoint_hours: float, mtbf_hours: float) -> float:
+    """Young's first-order optimum ``√(2δM)`` (small-overhead limit)."""
+    if checkpoint_hours <= 0.0 or mtbf_hours <= 0.0:
+        raise ParameterError("checkpoint time and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_hours * mtbf_hours)
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Periodic checkpointing under exponential failures.
+
+    Attributes
+    ----------
+    mtbf_hours:
+        Mean time between job-killing failures of the platform (for this
+    paper's purposes: CFS outages plus transient network errors).
+    checkpoint_hours:
+        Time to write one checkpoint through the CFS (``δ``).
+    restart_hours:
+        Time to detect the failure, restore the last checkpoint and resume
+        (``R``).
+    """
+
+    mtbf_hours: float
+    checkpoint_hours: float
+    restart_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mtbf_hours <= 0.0:
+            raise ParameterError(f"mtbf_hours must be positive, got {self.mtbf_hours}")
+        if self.checkpoint_hours <= 0.0:
+            raise ParameterError(
+                f"checkpoint_hours must be positive, got {self.checkpoint_hours}"
+            )
+        if self.restart_hours < 0.0:
+            raise ParameterError(
+                f"restart_hours must be >= 0, got {self.restart_hours}"
+            )
+
+    # ------------------------------------------------------------------
+    def expected_wall_per_segment(self, interval_hours: float) -> float:
+        """Exact expected wall-clock hours to commit ``interval_hours`` of
+        useful work followed by one checkpoint."""
+        if interval_hours <= 0.0:
+            raise ParameterError("interval must be positive")
+        lam = 1.0 / self.mtbf_hours
+        tau = interval_hours + self.checkpoint_hours
+        return math.exp(lam * self.restart_hours) * math.expm1(lam * tau) / lam
+
+    def efficiency(self, interval_hours: float) -> float:
+        """Fraction of wall-clock time spent on useful work."""
+        return interval_hours / self.expected_wall_per_segment(interval_hours)
+
+    def optimal_interval(self) -> float:
+        """Efficiency-maximizing checkpoint interval (hours), numeric."""
+        young = young_interval(self.checkpoint_hours, self.mtbf_hours)
+        result = optimize.minimize_scalar(
+            lambda t: -self.efficiency(t),
+            bounds=(young / 50.0, young * 50.0),
+            method="bounded",
+            options={"xatol": 1e-8},
+        )
+        return float(result.x)
+
+    def optimal_efficiency(self) -> float:
+        """Efficiency at the optimal interval."""
+        return self.efficiency(self.optimal_interval())
+
+    def overhead_fraction(self) -> float:
+        """1 − optimal efficiency: the machine share lost to resilience."""
+        return 1.0 - self.optimal_efficiency()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointModel(mtbf={self.mtbf_hours:.1f}h, "
+            f"delta={self.checkpoint_hours:.3f}h, R={self.restart_hours:.2f}h)"
+        )
+
+
+def checkpoint_write_hours(
+    n_compute_nodes: int,
+    memory_per_node_gb: float,
+    checkpoint_fraction: float,
+    io_bandwidth_gb_per_s: float,
+) -> float:
+    """Hours to write one application checkpoint through the CFS.
+
+    ``state = nodes × memory × fraction``; the CFS's sustainable aggregate
+    bandwidth bounds the drain rate.  ABE's S2A9550 pair sustained a few
+    GB/s; petascale designs aim for tens of GB/s — but application state
+    grows with node count, which is exactly why the paper's intro flags
+    checkpointing as the petascale pain point.
+    """
+    if min(n_compute_nodes, memory_per_node_gb, io_bandwidth_gb_per_s) <= 0:
+        raise ParameterError("node count, memory, and bandwidth must be positive")
+    if not 0.0 < checkpoint_fraction <= 1.0:
+        raise ParameterError(
+            f"checkpoint_fraction must be in (0, 1], got {checkpoint_fraction}"
+        )
+    state_gb = n_compute_nodes * memory_per_node_gb * checkpoint_fraction
+    return state_gb / io_bandwidth_gb_per_s / 3600.0
+
+
+def efficiency_at_scale(
+    params: CFSParameters,
+    failure_mtbf_hours: float,
+    memory_per_node_gb: float = 8.0,
+    checkpoint_fraction: float = 0.35,
+    io_bandwidth_gb_per_s: float | None = None,
+    restart_hours: float = 0.5,
+) -> CheckpointModel:
+    """Build the checkpoint model for a cluster design point.
+
+    ``failure_mtbf_hours`` should come from the simulated cluster (e.g.
+    ``8760 / cfs_outage_onsets_per_year``, optionally combined with the
+    transient job-kill rate).  Bandwidth defaults to 1 GB/s per DDN unit —
+    roughly the sustained write throughput of an S2A9550-class controller
+    couplet of the period.
+    """
+    if io_bandwidth_gb_per_s is None:
+        io_bandwidth_gb_per_s = 1.0 * params.n_ddn_units
+    delta = checkpoint_write_hours(
+        params.n_compute_nodes,
+        memory_per_node_gb,
+        checkpoint_fraction,
+        io_bandwidth_gb_per_s,
+    )
+    return CheckpointModel(
+        mtbf_hours=failure_mtbf_hours,
+        checkpoint_hours=delta,
+        restart_hours=restart_hours,
+    )

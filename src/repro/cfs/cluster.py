@@ -1,0 +1,180 @@
+"""The composed cluster model (Figure 1) and its simulation facade.
+
+Composition tree, mirroring the paper exactly::
+
+    CLUSTER
+    ├── CLIENT            leaf switches (replicated) + spine
+    └── CFS_UNIT
+        ├── OSS           metadata + file-server fail-over pairs (replicated)
+        ├── OSS_SAN_NW    redundant switch pair between OSS and DDN
+        ├── SAN           shared fabric
+        └── DDN_UNITS     DDN units (replicated): controller pair +
+                          RAID6 tiers (replicated) of disks (replicated)
+
+:class:`ClusterModel` flattens the tree once and exposes
+:meth:`ClusterModel.simulate`, which runs replications and returns the
+paper's measures with confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.composition import FlatModel, Node, flatten, join
+from ..core.experiment import Estimate, ExperimentResult, replicate_runs
+from ..core.simulation import Simulator
+from .components import (
+    build_client_network_node,
+    build_oss_layer_node,
+    build_oss_san_network_node,
+    build_san_fabric_san,
+    build_storage_node,
+)
+from .measures import build_measures, build_storage_measures
+from .parameters import CFSParameters
+
+__all__ = [
+    "ClusterModel",
+    "StorageModel",
+    "ClusterResult",
+    "build_cluster_node",
+    "build_storage_only_model",
+    "DEFAULT_HOURS",
+]
+
+#: Default observation window per replication (one simulated year).
+DEFAULT_HOURS = 8760.0
+
+
+def build_cluster_node(params: CFSParameters) -> Node:
+    """Build the full CLUSTER composition tree from parameters."""
+    cfs_unit = join(
+        "cfs",
+        build_oss_layer_node(params),
+        build_oss_san_network_node(params),
+        build_san_fabric_san(params),
+        build_storage_node(params),
+    )
+    client = build_client_network_node(params)
+    return join("cluster", client, cfs_unit)
+
+
+def build_storage_only_model(params: CFSParameters) -> FlatModel:
+    """Flatten only the DDN fleet (Figures 2 and 3 isolate the storage:
+    "we evaluate the DDN_UNITS models ... in isolation from failures of
+    other components of the SAN")."""
+    return flatten(build_storage_node(params))
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Replicated-measure estimates for one cluster configuration."""
+
+    params: CFSParameters
+    experiment: ExperimentResult
+
+    def estimate(self, metric: str) -> Estimate:
+        """Student-t estimate for any collected metric."""
+        return self.experiment.estimate(metric)
+
+    @property
+    def storage_availability(self) -> Estimate:
+        """Fraction of time all tiers and DDN controllers are up."""
+        return self.estimate("storage_availability")
+
+    @property
+    def cfs_availability(self) -> Estimate:
+        """The paper's CFS-availability (Figure 4, middle curves)."""
+        return self.estimate("cfs_availability")
+
+    @property
+    def cluster_utility(self) -> Estimate:
+        """The paper's CU (Figure 4, lowest curve)."""
+        return self.estimate("cluster_utility")
+
+    @property
+    def disks_replaced_per_week(self) -> Estimate:
+        """Figure 3's reward."""
+        return self.estimate("disks_replaced_per_week")
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"{self.params.name}: {self.params.usable_storage_tb:.0f} TB usable"]
+        available = set(self.experiment.metrics)
+        for metric in (
+            "storage_availability",
+            "cfs_availability",
+            "perceived_availability",
+            "cluster_utility",
+            "disks_replaced_per_week",
+        ):
+            if metric in available:
+                lines.append(f"  {metric:<26} {self.experiment.estimate(metric)}")
+        return "\n".join(lines)
+
+
+class ClusterModel:
+    """Flattened, simulate-ready cluster model.
+
+    Parameters
+    ----------
+    params:
+        Full model parameterization (see :class:`CFSParameters`).
+    base_seed:
+        Root RNG entropy; replications derive independent streams.
+    """
+
+    def __init__(self, params: CFSParameters, base_seed: int = 2008) -> None:
+        self.params = params
+        self.model = flatten(build_cluster_node(params))
+        self.simulator = Simulator(self.model, base_seed=base_seed)
+        self.measures = build_measures(self.model, params)
+
+    def simulate(
+        self,
+        hours: float = DEFAULT_HOURS,
+        n_replications: int = 10,
+        warmup: float = 0.0,
+    ) -> ClusterResult:
+        """Run replications and collect the paper's measures."""
+        experiment = replicate_runs(
+            self.simulator,
+            hours,
+            n_replications=n_replications,
+            warmup=warmup,
+            rewards=self.measures.rewards,
+            traces_factory=self.measures.traces_factory,
+            extra_metrics=self.measures.extra_metrics,
+        )
+        return ClusterResult(self.params, experiment)
+
+    def summary(self) -> str:
+        """Structural description of the flattened model."""
+        return self.model.summary()
+
+
+class StorageModel:
+    """Flattened DDN fleet for the storage-isolation experiments."""
+
+    def __init__(self, params: CFSParameters, base_seed: int = 96) -> None:
+        self.params = params
+        self.model = build_storage_only_model(params)
+        self.simulator = Simulator(self.model, base_seed=base_seed)
+        self.measures = build_storage_measures(self.model)
+
+    def simulate(
+        self,
+        hours: float = DEFAULT_HOURS,
+        n_replications: int = 10,
+        warmup: float = 0.0,
+    ) -> ClusterResult:
+        """Run replications of the storage-only model."""
+        experiment = replicate_runs(
+            self.simulator,
+            hours,
+            n_replications=n_replications,
+            warmup=warmup,
+            rewards=self.measures.rewards,
+            extra_metrics=self.measures.extra_metrics,
+        )
+        return ClusterResult(self.params, experiment)

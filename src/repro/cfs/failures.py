@@ -1,0 +1,62 @@
+"""Failure taxonomy of the CFS model (Section 4.3).
+
+"The ABE's cluster suffers from failures mainly because of 3 types of
+errors: hardware errors, software errors, and transient errors."  This
+module centralizes the taxonomy so model builders, reward measures and
+the log generator agree on names and on which components each class
+touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["FailureClass", "FailureSite", "OUTAGE_CAUSES"]
+
+
+class FailureClass(str, Enum):
+    """The paper's three error classes (plus disk media failures)."""
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    TRANSIENT = "transient"
+    DISK = "disk"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class FailureSite(str, Enum):
+    """Where a failure strikes (the Figure 1 submodels)."""
+
+    OSS = "oss"
+    OSS_SAN_NW = "oss_san_nw"
+    SAN_FABRIC = "san"
+    DDN_CONTROLLER = "ddn_controller"
+    RAID_TIER = "raid_tier"
+    CLIENT_NETWORK = "client_network"
+    BATCH = "batch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class _CauseInfo:
+    """Rendering info for Table 1-style outage causes."""
+
+    label: str
+    failure_class: FailureClass
+
+
+#: Map from model outage sources to the cause labels Table 1 uses.
+OUTAGE_CAUSES: dict[FailureSite, _CauseInfo] = {
+    FailureSite.OSS: _CauseInfo("I/O hardware", FailureClass.HARDWARE),
+    FailureSite.OSS_SAN_NW: _CauseInfo("I/O hardware", FailureClass.HARDWARE),
+    FailureSite.SAN_FABRIC: _CauseInfo("I/O hardware", FailureClass.HARDWARE),
+    FailureSite.DDN_CONTROLLER: _CauseInfo("I/O hardware", FailureClass.HARDWARE),
+    FailureSite.RAID_TIER: _CauseInfo("I/O hardware", FailureClass.DISK),
+    FailureSite.CLIENT_NETWORK: _CauseInfo("Network", FailureClass.TRANSIENT),
+    FailureSite.BATCH: _CauseInfo("Batch system", FailureClass.SOFTWARE),
+}

@@ -1,0 +1,109 @@
+"""Scaling schedules from ABE to the petascale design point.
+
+The figures scale three linked axes:
+
+* **Figure 2** — storage size in TB, 96 TB (ABE) → 12 PB (Blue Waters);
+* **Figure 3** — number of disks, 480 → 4800;
+* **Figure 4** — the whole machine: DDN units 2 → 20, OSS pairs 9 → 81,
+  compute nodes 1200 → 32000.
+
+Disk counts grow 10× while storage grows 128×: the difference is the
+33 %/yr disk-capacity growth the paper assumes (Table 5).  We tie the two
+axes together by assigning each scale step a deployment-year offset so
+that step ``k`` of ``n`` has per-disk capacity ``0.25 TB · 1.33^(y(k))``
+with ``y`` interpolating from 0 (ABE, 2007 disks) to the horizon that
+makes 4800 disks hold ≈ 12 PB raw (~8.2 years).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Iterator
+
+from ..core.errors import ParameterError
+from .parameters import CFSParameters, abe_parameters
+
+__all__ = [
+    "CAPACITY_GROWTH_PER_YEAR",
+    "disk_capacity_tb",
+    "scale_step",
+    "scaling_series",
+    "storage_axis_tb",
+]
+
+#: "Annual growth rate of disk capacity 33%" (Table 5).
+CAPACITY_GROWTH_PER_YEAR = 0.33
+
+#: ABE per-disk capacity (250 GB SATA drives).
+_BASE_DISK_TB = 0.25
+
+#: Raw petascale target at the right edge of Figure 2 (12 PB).
+_TARGET_RAW_TB = 12_288.0
+
+#: Fleet growth factor at the petascale point (480 → 4800 disks).
+_MAX_FLEET_FACTOR = 10
+
+
+def _horizon_years() -> float:
+    """Deployment horizon that makes 4800 grown disks hold ~12 PB raw."""
+    per_disk = _TARGET_RAW_TB / (480.0 * _MAX_FLEET_FACTOR)
+    return math.log(per_disk / _BASE_DISK_TB) / math.log(1.0 + CAPACITY_GROWTH_PER_YEAR)
+
+
+def disk_capacity_tb(years_from_abe: float) -> float:
+    """Per-disk capacity after ``years_from_abe`` years of 33 %/yr growth."""
+    if years_from_abe < 0.0:
+        raise ParameterError(f"years_from_abe must be >= 0, got {years_from_abe}")
+    return _BASE_DISK_TB * (1.0 + CAPACITY_GROWTH_PER_YEAR) ** years_from_abe
+
+
+def scale_step(k: int, n_steps: int = 10, base: CFSParameters | None = None) -> CFSParameters:
+    """Parameter set for scale step ``k`` (1 = ABE, ``n_steps`` = petascale).
+
+    Linear interpolation of component counts between the ABE and petascale
+    design points, with disk capacity following the growth schedule:
+
+    ======================  =========  ==============
+    quantity                k = 1      k = n_steps
+    ======================  =========  ==============
+    DDN units               2          20
+    disks                   480        4800
+    OSS pairs               9          81
+    compute nodes           1200       32000
+    per-disk TB             0.25       ≈ 2.56
+    ======================  =========  ==============
+    """
+    if not 1 <= k <= n_steps:
+        raise ParameterError(f"need 1 <= k <= n_steps, got k={k}, n_steps={n_steps}")
+    if n_steps < 2:
+        raise ParameterError(f"n_steps must be >= 2, got {n_steps}")
+    base = base if base is not None else abe_parameters()
+    frac = (k - 1) / (n_steps - 1)
+    fleet_factor = 1 + (_MAX_FLEET_FACTOR - 1) * frac
+    n_ddn = max(1, round(base.n_ddn_units * fleet_factor))
+    n_pairs = round(9 + (81 - 9) * frac)
+    n_nodes = round(1200 + (32_000 - 1200) * frac)
+    years = _horizon_years() * frac
+    name = base.name if k == 1 else f"{base.name}-x{fleet_factor:.2g}"
+    return replace(
+        base,
+        name=name,
+        n_ddn_units=n_ddn,
+        n_oss_pairs=n_pairs,
+        n_compute_nodes=n_nodes,
+        disk_capacity_tb=disk_capacity_tb(years),
+    )
+
+
+def scaling_series(
+    n_steps: int = 10, base: CFSParameters | None = None
+) -> Iterator[CFSParameters]:
+    """Yield the full ABE → petascale parameter series."""
+    for k in range(1, n_steps + 1):
+        yield scale_step(k, n_steps, base)
+
+
+def storage_axis_tb(n_steps: int = 10, base: CFSParameters | None = None) -> list[float]:
+    """Raw-storage x-axis values (TB) for the Figure 2 sweep."""
+    return [p.raw_storage_tb for p in scaling_series(n_steps, base)]

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``        regenerate Tables 1-5
+``figures``       regenerate Figures 2-4 (``--full`` for paper fidelity)
+``all``           everything
+``calibrate``     print the Figure 4 anchors (ABE / petascale / spare)
+``simulate``      simulate one preset and print its measures
+``logs``          synthesize the ABE logs into a directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dependability analysis of petascale cluster file systems "
+            "(reproduction of Gaonkar et al., DSN 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate Tables 1-5")
+    p_tables.add_argument("--seed", type=int, default=2013)
+
+    p_figures = sub.add_parser("figures", help="regenerate Figures 2-4")
+    p_figures.add_argument("--full", action="store_true", help="paper fidelity")
+
+    p_all = sub.add_parser("all", help="regenerate every table and figure")
+    p_all.add_argument("--full", action="store_true")
+    p_all.add_argument("--seed", type=int, default=2013)
+
+    p_cal = sub.add_parser("calibrate", help="print the Figure 4 anchors")
+    p_cal.add_argument("--replications", type=int, default=8)
+    p_cal.add_argument("--hours", type=float, default=8760.0)
+
+    p_sim = sub.add_parser("simulate", help="simulate a preset")
+    p_sim.add_argument("preset", choices=["abe", "petascale", "petascale-spare"])
+    p_sim.add_argument("--replications", type=int, default=8)
+    p_sim.add_argument("--hours", type=float, default=8760.0)
+    p_sim.add_argument("--seed", type=int, default=2008)
+
+    p_logs = sub.add_parser("logs", help="synthesize the ABE logs")
+    p_logs.add_argument("output_dir")
+    p_logs.add_argument("--seed", type=int, default=2013)
+    return parser
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .experiments import run_table1, run_table2, run_table3, run_table4, run_table5
+    from .loggen import generate_abe_logs
+
+    logs = generate_abe_logs(seed=args.seed)
+    for runner in (run_table1, run_table2, run_table3):
+        print(runner(logs=logs).format())
+        print()
+    print(run_table4().format())
+    print()
+    print(run_table5().format())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import run_figure2, run_figure3, run_figure4
+
+    if args.full:
+        fig_kwargs: dict = {}
+        fig4_kwargs: dict = {}
+    else:
+        fig_kwargs = {"n_steps": 4, "n_replications": 3, "hours": 4380.0}
+        fig4_kwargs = {"n_steps": 3, "n_replications": 3, "hours": 4380.0}
+    for result in (
+        run_figure2(**fig_kwargs),
+        run_figure3(**fig_kwargs),
+        run_figure4(**fig4_kwargs),
+    ):
+        print(result.format())
+        print()
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    print(run_all(full=args.full, seed=args.seed))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .cfs import ClusterModel, abe_parameters, petascale_parameters
+
+    presets = [
+        ("ABE (paper: 0.972)", abe_parameters()),
+        ("petascale (paper: 0.909)", petascale_parameters()),
+        ("petascale + spare (paper: +3%)", petascale_parameters().with_spare_oss(1)),
+    ]
+    for label, params in presets:
+        t0 = time.time()
+        result = ClusterModel(params, base_seed=2008).simulate(
+            hours=args.hours, n_replications=args.replications
+        )
+        print(f"{label:<32} CFS availability {result.cfs_availability}"
+              f"   [{time.time() - t0:.0f}s]")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .cfs import ClusterModel, abe_parameters, petascale_parameters
+
+    params = {
+        "abe": abe_parameters,
+        "petascale": petascale_parameters,
+        "petascale-spare": lambda: petascale_parameters().with_spare_oss(1),
+    }[args.preset]()
+    model = ClusterModel(params, base_seed=args.seed)
+    result = model.simulate(hours=args.hours, n_replications=args.replications)
+    print(result.summary())
+    return 0
+
+
+def _cmd_logs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .loggen import generate_abe_logs, write_log
+
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    logs = generate_abe_logs(seed=args.seed)
+    n_san = write_log(logs.san_log.events, str(out / "san.log"))
+    n_compute = write_log(logs.compute_log.events, str(out / "compute.log"))
+    print(f"wrote {n_san} SAN-log lines and {n_compute} compute-log lines to {out}")
+    print(f"ground-truth CFS availability: {logs.ground_truth.cfs_availability:.4f}")
+    return 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "figures": _cmd_figures,
+    "all": _cmd_all,
+    "calibrate": _cmd_calibrate,
+    "simulate": _cmd_simulate,
+    "logs": _cmd_logs,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

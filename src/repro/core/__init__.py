@@ -1,0 +1,128 @@
+"""Stochastic activity network substrate (the Möbius stand-in).
+
+Public API:
+
+* distributions: :class:`Exponential`, :class:`Weibull`, :class:`Deterministic`, ...
+* model building: :class:`SAN`, :class:`InputGate`, :class:`OutputGate`, :class:`Case`
+* composition: :func:`join`, :func:`replicate`, :func:`leaf`, :func:`flatten`
+* execution: :class:`Simulator`, :class:`RateReward`, :class:`ImpulseReward`,
+  :class:`BinaryTrace`, :class:`EventTrace`
+* experiments: :func:`replicate_runs`, :class:`Estimate`
+* exact solutions: :func:`explore` (state space → CTMC)
+"""
+
+from .batchmeans import BatchMeansResult, batch_means_from_steps, batch_means_from_trace
+from .composition import (
+    FlatActivity,
+    FlatModel,
+    JoinNode,
+    LeafNode,
+    Node,
+    ReplicateNode,
+    flatten,
+    join,
+    leaf,
+    replicate,
+)
+from .distributions import (
+    HOURS_PER_YEAR,
+    Deterministic,
+    Distribution,
+    Empirical,
+    EquilibriumResidual,
+    Erlang,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Shifted,
+    Uniform,
+    Weibull,
+    afr_to_mtbf,
+    mtbf_to_afr,
+)
+from .errors import (
+    AnalysisError,
+    CompositionError,
+    FitError,
+    InstantaneousLoopError,
+    ModelError,
+    ParameterError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    StateSpaceError,
+)
+from .experiment import Estimate, ExperimentResult, replicate_runs
+from .gates import Case, InputGate, OutputGate
+from .places import LocalView, MarkingVector, Place
+from .rewards import ImpulseReward, RateReward, RewardResult
+from .rng import SeedTree, derive_seed, make_generator
+from .san import SAN, ActivityDef
+from .simulation import RunResult, Simulator
+from .statespace import StateSpace, explore
+from .trace import BinaryTrace, EventTrace, Interval, TraceEvent
+
+__all__ = [
+    "BatchMeansResult",
+    "batch_means_from_steps",
+    "batch_means_from_trace",
+    "HOURS_PER_YEAR",
+    "Distribution",
+    "Exponential",
+    "Weibull",
+    "Deterministic",
+    "Uniform",
+    "LogNormal",
+    "Gamma",
+    "Erlang",
+    "Empirical",
+    "Shifted",
+    "EquilibriumResidual",
+    "afr_to_mtbf",
+    "mtbf_to_afr",
+    "SAN",
+    "ActivityDef",
+    "Place",
+    "MarkingVector",
+    "LocalView",
+    "InputGate",
+    "OutputGate",
+    "Case",
+    "Node",
+    "LeafNode",
+    "JoinNode",
+    "ReplicateNode",
+    "leaf",
+    "join",
+    "replicate",
+    "flatten",
+    "FlatModel",
+    "FlatActivity",
+    "Simulator",
+    "RunResult",
+    "RateReward",
+    "ImpulseReward",
+    "RewardResult",
+    "BinaryTrace",
+    "EventTrace",
+    "Interval",
+    "TraceEvent",
+    "Estimate",
+    "ExperimentResult",
+    "replicate_runs",
+    "StateSpace",
+    "explore",
+    "SeedTree",
+    "derive_seed",
+    "make_generator",
+    "ReproError",
+    "ModelError",
+    "CompositionError",
+    "SimulationError",
+    "InstantaneousLoopError",
+    "StateSpaceError",
+    "AnalysisError",
+    "ParseError",
+    "FitError",
+    "ParameterError",
+]

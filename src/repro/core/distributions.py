@@ -1,0 +1,557 @@
+"""Probability distributions used by activity timing and failure models.
+
+All distributions measure time in **hours**, the unit used throughout the
+paper ("Average time to replace disks 1-12 hours", MTBF 100000-3000000 hours,
+rates per 720 hours, ...).
+
+Two constructors mirror how the paper parameterizes disk reliability:
+
+* :meth:`Weibull.from_mtbf` — shape plus mean time between failures, e.g.
+  ``Weibull.from_mtbf(shape=0.7, mtbf_hours=300_000)`` is the fitted ABE
+  disk model of Section 5.1.
+* :meth:`Weibull.from_afr` — shape plus annualized failure rate, using the
+  paper's annualization ``AFR = 8760 / MTBF`` (so AFR 2.92 % ⇔ MTBF
+  300000 h, exactly the pairing quoted in the paper).
+
+:class:`EquilibriumResidual` provides the stationary residual-life
+distribution of a renewal process, used to initialize an in-service disk
+fleet: ABE's 480 disks were not factory-fresh when the observation window
+opened, so their time-to-next-failure follows the renewal equilibrium
+distribution rather than the bare lifetime law.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize, special
+
+from .errors import ModelError
+
+__all__ = [
+    "HOURS_PER_YEAR",
+    "Distribution",
+    "Exponential",
+    "Deterministic",
+    "Uniform",
+    "Weibull",
+    "LogNormal",
+    "Gamma",
+    "Erlang",
+    "Empirical",
+    "Shifted",
+    "EquilibriumResidual",
+    "afr_to_mtbf",
+    "mtbf_to_afr",
+]
+
+HOURS_PER_YEAR = 8760.0
+
+
+def afr_to_mtbf(afr: float) -> float:
+    """Convert an annualized failure rate (fraction, e.g. 0.0292) to MTBF hours.
+
+    Uses the simple annualization the paper uses: ``MTBF = 8760 / AFR``
+    (AFR 2.92 % ⇔ MTBF 300000 h).
+    """
+    if not 0.0 < afr:
+        raise ModelError(f"AFR must be positive, got {afr}")
+    return HOURS_PER_YEAR / afr
+
+
+def mtbf_to_afr(mtbf_hours: float) -> float:
+    """Convert MTBF in hours to an annualized failure rate fraction."""
+    if not mtbf_hours > 0.0:
+        raise ModelError(f"MTBF must be positive, got {mtbf_hours}")
+    return HOURS_PER_YEAR / mtbf_hours
+
+
+class Distribution(ABC):
+    """A positive continuous distribution for activity firing delays."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one variate."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value, in hours."""
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. variates (vectorized where possible)."""
+        return np.array([self.sample(rng) for _ in range(size)])
+
+    def survival(self, t: float) -> float:
+        """``P(X > t)``.  Subclasses with closed forms override this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a survival function"
+        )
+
+    # Exponential-ness is what the state-space generator needs to know.
+    @property
+    def is_exponential(self) -> bool:
+        """True only for the memoryless exponential distribution."""
+        return False
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``rate`` (events per hour)."""
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate: float) -> None:
+        if not rate > 0.0:
+            raise ModelError(f"Exponential rate must be positive, got {rate}")
+        self.rate = float(rate)
+
+    @classmethod
+    def from_mean(cls, mean_hours: float) -> "Exponential":
+        """Construct from the mean delay in hours."""
+        if not mean_hours > 0.0:
+            raise ModelError(f"mean must be positive, got {mean_hours}")
+        return cls(1.0 / mean_hours)
+
+    @classmethod
+    def per_period(cls, events: float, period_hours: float) -> "Exponential":
+        """Construct from "N events per period", e.g. ``per_period(1.5, 720)``
+        for the paper's "1-2 per 720 hours" hardware error rate."""
+        if not (events > 0.0 and period_hours > 0.0):
+            raise ModelError("events and period must be positive")
+        return cls(events / period_hours)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=size)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def survival(self, t: float) -> float:
+        return math.exp(-self.rate * max(t, 0.0))
+
+    @property
+    def is_exponential(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Exponential(rate={self.rate!r})"
+
+
+class Deterministic(Distribution):
+    """A fixed, deterministic delay.
+
+    The paper models disk replacement and software/hardware repair times as
+    deterministic events swept over a range (Table 5).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        if value < 0.0:
+            raise ModelError(f"Deterministic delay must be >= 0, got {value}")
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def survival(self, t: float) -> float:
+        return 1.0 if t < self.value else 0.0
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self.value!r})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0.0 <= low <= high:
+            raise ModelError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def survival(self, t: float) -> float:
+        if t <= self.low:
+            return 1.0
+        if t >= self.high:
+            return 0.0
+        return (self.high - t) / (self.high - self.low)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low!r}, {self.high!r})"
+
+
+class Weibull(Distribution):
+    """Weibull distribution with ``shape`` (β) and ``scale`` (η) in hours.
+
+    Survival function ``S(t) = exp(-(t/η)^β)``.  Shape β < 1 gives a
+    decreasing hazard (infant mortality), the regime the paper fits for
+    ABE's disks (β ≈ 0.7, Table 4).
+    """
+
+    __slots__ = ("shape", "scale")
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if not shape > 0.0:
+            raise ModelError(f"Weibull shape must be positive, got {shape}")
+        if not scale > 0.0:
+            raise ModelError(f"Weibull scale must be positive, got {scale}")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    @classmethod
+    def from_mtbf(cls, shape: float, mtbf_hours: float) -> "Weibull":
+        """Weibull with given shape whose **mean** equals ``mtbf_hours``.
+
+        ``mean = η Γ(1 + 1/β)``, so ``η = MTBF / Γ(1 + 1/β)``.
+        """
+        if not mtbf_hours > 0.0:
+            raise ModelError(f"MTBF must be positive, got {mtbf_hours}")
+        scale = mtbf_hours / special.gamma(1.0 + 1.0 / shape)
+        return cls(shape, scale)
+
+    @classmethod
+    def from_afr(cls, shape: float, afr: float) -> "Weibull":
+        """Weibull with given shape and annualized failure rate ``afr``
+        (fraction, e.g. ``0.0292`` for the paper's fitted 2.92 %)."""
+        return cls.from_mtbf(shape, afr_to_mtbf(afr))
+
+    @property
+    def mtbf(self) -> float:
+        """Mean time between failures implied by (shape, scale)."""
+        return self.mean()
+
+    @property
+    def afr(self) -> float:
+        """Annualized failure rate implied by the mean."""
+        return mtbf_to_afr(self.mean())
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=size)
+
+    def mean(self) -> float:
+        return self.scale * special.gamma(1.0 + 1.0 / self.shape)
+
+    def survival(self, t: float) -> float:
+        if t <= 0.0:
+            return 1.0
+        return math.exp(-((t / self.scale) ** self.shape))
+
+    def hazard(self, t: float) -> float:
+        """Instantaneous hazard rate ``h(t) = (β/η)(t/η)^(β-1)``."""
+        if t <= 0.0:
+            return math.inf if self.shape < 1.0 else (
+                0.0 if self.shape > 1.0 else 1.0 / self.scale
+            )
+        return (self.shape / self.scale) * (t / self.scale) ** (self.shape - 1.0)
+
+    def residual_sample(self, age: float, rng: np.random.Generator) -> float:
+        """Sample remaining life given survival to ``age`` (inverse-CDF).
+
+        ``P(X > age + t | X > age) = S(age + t)/S(age)``; inverting gives
+        ``t = η (( (age/η)^β - ln U )^(1/β)) - age`` for ``U ~ U(0,1)``.
+        """
+        if age < 0.0:
+            raise ModelError(f"age must be >= 0, got {age}")
+        u = rng.uniform()
+        base = (age / self.scale) ** self.shape
+        return float(self.scale * (base - math.log(u)) ** (1.0 / self.shape) - age)
+
+    def __repr__(self) -> str:
+        return f"Weibull(shape={self.shape!r}, scale={self.scale!r})"
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterized by the underlying normal's μ, σ."""
+
+    __slots__ = ("mu", "sigma")
+
+    def __init__(self, mu: float, sigma: float) -> None:
+        if not sigma > 0.0:
+            raise ModelError(f"LogNormal sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "LogNormal":
+        """Construct from the distribution mean and coefficient of variation."""
+        if not (mean > 0.0 and cv > 0.0):
+            raise ModelError("mean and cv must be positive")
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - 0.5 * sigma2
+        return cls(mu, math.sqrt(sigma2))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=size)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+    def survival(self, t: float) -> float:
+        if t <= 0.0:
+            return 1.0
+        z = (math.log(t) - self.mu) / self.sigma
+        return float(special.ndtr(-z))
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mu={self.mu!r}, sigma={self.sigma!r})"
+
+
+class Gamma(Distribution):
+    """Gamma distribution with ``shape`` k and ``scale`` θ (mean kθ)."""
+
+    __slots__ = ("shape", "scale")
+
+    def __init__(self, shape: float, scale: float) -> None:
+        if not (shape > 0.0 and scale > 0.0):
+            raise ModelError("Gamma shape and scale must be positive")
+        self.shape = float(shape)
+        self.scale = float(scale)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.shape, self.scale))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.gamma(self.shape, self.scale, size=size)
+
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    def survival(self, t: float) -> float:
+        if t <= 0.0:
+            return 1.0
+        return float(special.gammaincc(self.shape, t / self.scale))
+
+    def __repr__(self) -> str:
+        return f"Gamma(shape={self.shape!r}, scale={self.scale!r})"
+
+
+class Erlang(Gamma):
+    """Erlang distribution: sum of ``stages`` i.i.d. exponentials of ``rate``."""
+
+    def __init__(self, stages: int, rate: float) -> None:
+        if stages < 1 or stages != int(stages):
+            raise ModelError(f"Erlang stages must be a positive integer, got {stages}")
+        if not rate > 0.0:
+            raise ModelError(f"Erlang rate must be positive, got {rate}")
+        super().__init__(float(int(stages)), 1.0 / rate)
+        self.stages = int(stages)
+        self.rate = float(rate)
+
+    def __repr__(self) -> str:
+        return f"Erlang(stages={self.stages!r}, rate={self.rate!r})"
+
+
+class Empirical(Distribution):
+    """Resampling distribution over observed delays (bootstrap style)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence[float]) -> None:
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ModelError("Empirical distribution needs at least one value")
+        if np.any(arr < 0.0):
+            raise ModelError("Empirical delays must be non-negative")
+        self.values = arr
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.choice(self.values))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(self.values, size=size)
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def survival(self, t: float) -> float:
+        return float(np.mean(self.values > t))
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={self.values.size})"
+
+
+class Shifted(Distribution):
+    """``offset + X`` for an inner distribution ``X`` (e.g. minimum repair time)."""
+
+    __slots__ = ("offset", "inner")
+
+    def __init__(self, offset: float, inner: Distribution) -> None:
+        if offset < 0.0:
+            raise ModelError(f"Shift offset must be >= 0, got {offset}")
+        self.offset = float(offset)
+        self.inner = inner
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.offset + self.inner.sample(rng)
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.offset + self.inner.sample_many(rng, size)
+
+    def mean(self) -> float:
+        return self.offset + self.inner.mean()
+
+    def survival(self, t: float) -> float:
+        if t <= self.offset:
+            return 1.0
+        return self.inner.survival(t - self.offset)
+
+    def __repr__(self) -> str:
+        return f"Shifted(offset={self.offset!r}, inner={self.inner!r})"
+
+
+class EquilibriumResidual(Distribution):
+    """Stationary residual-life distribution of a renewal process.
+
+    If components fail with lifetime law ``X`` (mean μ) and are renewed on
+    failure, then at a random inspection time the **remaining life** of the
+    in-service component has density ``S_X(t)/μ``.  Sampling inverts the
+    CDF ``F_e(t) = (1/μ)∫₀ᵗ S_X(u) du`` numerically.
+
+    This is how the ABE disk fleet is initialized: the fleet is in service,
+    so time-to-first-failure per disk follows this law rather than the raw
+    Weibull (using the raw law would overstate early failures for β < 1).
+    """
+
+    __slots__ = ("inner", "_mean_inner", "_quantile_grid")
+
+    #: Resolution of the cached inverse-CDF table used by :meth:`sample`.
+    _TABLE_SIZE = 4096
+
+    def __init__(self, inner: Distribution) -> None:
+        self.inner = inner
+        self._mean_inner = inner.mean()
+        if not self._mean_inner > 0.0:
+            raise ModelError("inner distribution must have positive mean")
+        # Fail fast if the inner law cannot report survival probabilities.
+        inner.survival(0.0)
+        self._quantile_grid: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _integrated_survival(self, t: float) -> float:
+        """``∫₀ᵗ S(u) du`` via adaptive quadrature (closed form for Weibull)."""
+        if t <= 0.0:
+            return 0.0
+        inner = self.inner
+        if isinstance(inner, Weibull):
+            # ∫₀ᵗ exp(-(u/η)^β) du = (η/β) γ(1/β, (t/η)^β) with γ the lower
+            # incomplete gamma; gammainc is the regularized form.
+            beta, eta = inner.shape, inner.scale
+            x = (t / eta) ** beta
+            return float(
+                (eta / beta) * special.gamma(1.0 / beta) * special.gammainc(1.0 / beta, x)
+            )
+        if isinstance(inner, Exponential):
+            return (1.0 - math.exp(-inner.rate * t)) / inner.rate
+        if isinstance(inner, Deterministic):
+            return min(t, inner.value)
+        from scipy import integrate
+
+        value, _err = integrate.quad(inner.survival, 0.0, t, limit=200)
+        return float(value)
+
+    def cdf(self, t: float) -> float:
+        """Equilibrium CDF ``F_e(t)``."""
+        if t <= 0.0:
+            return 0.0
+        return min(1.0, self._integrated_survival(t) / self._mean_inner)
+
+    def survival(self, t: float) -> float:
+        return 1.0 - self.cdf(t)
+
+    def sample_exact(self, rng: np.random.Generator) -> float:
+        """Inverse-CDF sample via root finding (slow, arbitrarily accurate)."""
+        u = rng.uniform()
+        return self._invert(u * self._mean_inner)
+
+    def _invert(self, target: float) -> float:
+        def g(t: float) -> float:
+            return self._integrated_survival(t) - target
+
+        # Bracket the root: integrated survival is increasing, bounded by μ.
+        hi = max(self._mean_inner, 1.0)
+        while g(hi) < 0.0:
+            hi *= 2.0
+            if hi > 1e16:  # pragma: no cover - numerically unreachable
+                return hi
+        return float(optimize.brentq(g, 0.0, hi, xtol=1e-9, rtol=1e-12))
+
+    def _build_quantile_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """Tabulate the inverse CDF on a fine probability grid.
+
+        The grid is dense near both tails; between grid points the inverse
+        is interpolated linearly in t, which is accurate to well below the
+        resolution any availability measure can resolve.  Samples of the
+        extreme upper tail (u beyond the last grid point) fall back to
+        exact inversion.
+        """
+        n = self._TABLE_SIZE
+        # Uniformly spaced core plus geometrically refined tails.
+        core = np.linspace(0.0, 1.0, n, endpoint=False)[1:]
+        low_tail = np.geomspace(1e-7, core[0], 32, endpoint=False)
+        high_tail = 1.0 - np.geomspace(1e-5, 1.0 - core[-1], 32, endpoint=False)[::-1]
+        probs = np.unique(np.concatenate(([0.0], low_tail, core, high_tail)))
+        quantiles = np.array([self._invert(p * self._mean_inner) for p in probs])
+        return probs, quantiles
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._quantile_grid is None:
+            self._quantile_grid = self._build_quantile_grid()
+        probs, quantiles = self._quantile_grid
+        u = rng.uniform()
+        if u > probs[-1]:
+            return self._invert(u * self._mean_inner)
+        return float(np.interp(u, probs, quantiles))
+
+    def mean(self) -> float:
+        """``E[X²] / (2μ)`` — closed form where the inner law allows it."""
+        inner = self.inner
+        if isinstance(inner, Weibull):
+            second_moment = inner.scale**2 * special.gamma(1.0 + 2.0 / inner.shape)
+            return float(second_moment / (2.0 * self._mean_inner))
+        if isinstance(inner, Exponential):
+            return 1.0 / inner.rate
+        if isinstance(inner, Deterministic):
+            return inner.value / 2.0
+        from scipy import integrate
+
+        # Find an upper limit where the survival mass is negligible, then
+        # integrate t·S(t) on a bounded interval (the improper form is
+        # numerically fragile for heavy-tailed laws).
+        upper = max(self._mean_inner, 1.0)
+        while inner.survival(upper) > 1e-14 and upper < 1e15:
+            upper *= 2.0
+        second_moment_half, _err = integrate.quad(
+            lambda t: t * inner.survival(t), 0.0, upper, limit=400
+        )
+        return float(second_moment_half / self._mean_inner)
+
+    def __repr__(self) -> str:
+        return f"EquilibriumResidual({self.inner!r})"

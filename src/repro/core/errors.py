@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "CompositionError",
+    "SimulationError",
+    "InstantaneousLoopError",
+    "StateSpaceError",
+    "AnalysisError",
+    "ParseError",
+    "FitError",
+    "ParameterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A stochastic activity network definition is malformed."""
+
+
+class CompositionError(ModelError):
+    """A replicate/join composition tree cannot be flattened.
+
+    Typical causes: shared place names missing from a child model,
+    conflicting initial markings for a shared place, or duplicate
+    submodel names within a join.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an invalid state."""
+
+
+class InstantaneousLoopError(SimulationError):
+    """Instantaneous activities re-enabled each other without reaching a fixpoint.
+
+    Raised after a configurable number of zero-time firings at one instant,
+    which indicates a modeling bug (a "vanishing loop" in SAN terms).
+    """
+
+
+class StateSpaceError(ReproError):
+    """State-space exploration failed (non-exponential timing, explosion, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A log-analysis operation failed."""
+
+
+class ParseError(AnalysisError):
+    """A log line or log file could not be parsed."""
+
+
+class FitError(AnalysisError):
+    """A statistical fit (e.g. censored Weibull MLE) did not converge."""
+
+
+class ParameterError(ReproError):
+    """A model parameter set failed validation against its documented range."""

@@ -1,0 +1,127 @@
+"""Input gates, output gates, and cases — the SAN connectivity formalism.
+
+In a stochastic activity network (Movaghar & Meyer; Möbius), an activity's
+*enabling* and *effect* are expressed through gates:
+
+* an **input gate** holds a *predicate* (the activity is enabled only if
+  every input-gate predicate holds in the current marking) and an optional
+  *function* executed when the activity completes;
+* an **output gate** holds a function executed on completion;
+* a **case** models a probabilistic outcome: when the activity completes,
+  one case is chosen according to the case probabilities and its function
+  is executed (between the input-gate and output-gate functions).
+
+Functions receive ``(marking_view, rng)`` so that modeling code can draw
+auxiliary random numbers (e.g. the paper's correlated-failure propagation
+coin with probability *p*), and predicates receive the view alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .errors import ModelError
+from .places import LocalView
+
+__all__ = ["Predicate", "GateFunction", "InputGate", "OutputGate", "Case", "validate_cases"]
+
+Predicate = Callable[[LocalView], bool]
+GateFunction = Callable[[LocalView, np.random.Generator], None]
+CaseProbability = float | Callable[[LocalView], float]
+
+
+def _noop(m: LocalView, rng: np.random.Generator) -> None:
+    return None
+
+
+@dataclass(frozen=True)
+class InputGate:
+    """Enabling predicate plus optional completion function.
+
+    Attributes
+    ----------
+    predicate:
+        ``predicate(m) -> bool``; the activity is enabled only when all of
+        its input-gate predicates are true.
+    function:
+        ``function(m, rng)`` run when the activity completes, before cases.
+    name:
+        Optional label used in diagnostics.
+    """
+
+    predicate: Predicate
+    function: GateFunction = _noop
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.predicate):
+            raise ModelError("input gate predicate must be callable")
+        if not callable(self.function):
+            raise ModelError("input gate function must be callable")
+
+
+@dataclass(frozen=True)
+class OutputGate:
+    """Marking transformation executed when the activity completes."""
+
+    function: GateFunction
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.function):
+            raise ModelError("output gate function must be callable")
+
+
+@dataclass(frozen=True)
+class Case:
+    """One probabilistic outcome of an activity completion.
+
+    ``probability`` may be a constant or a marking-dependent callable
+    ``f(m) -> float`` (Möbius allows marking-dependent case probabilities;
+    the paper's propagation probability *p* is a constant case weight).
+    """
+
+    probability: CaseProbability
+    function: GateFunction = _noop
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.function):
+            raise ModelError("case function must be callable")
+        if not callable(self.probability):
+            p = float(self.probability)
+            if not (0.0 <= p <= 1.0):
+                raise ModelError(f"case probability must be in [0, 1], got {p}")
+
+    def probability_in(self, m: LocalView) -> float:
+        """Evaluate the case probability in marking ``m``."""
+        if callable(self.probability):
+            p = float(self.probability(m))
+            if not (0.0 <= p <= 1.0) or math.isnan(p):
+                raise ModelError(
+                    f"case {self.name!r}: marking-dependent probability {p} "
+                    "is outside [0, 1]"
+                )
+            return p
+        return float(self.probability)
+
+
+def validate_cases(cases: tuple[Case, ...], activity_name: str) -> None:
+    """Check that constant case probabilities sum to 1 (within tolerance).
+
+    Marking-dependent probabilities are validated at firing time instead.
+    """
+    if not cases:
+        return
+    if any(callable(c.probability) for c in cases):
+        return
+    total = sum(float(c.probability) for c in cases)
+    if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-9):
+        raise ModelError(
+            f"activity {activity_name!r}: case probabilities sum to {total}, "
+            "expected 1.0"
+        )

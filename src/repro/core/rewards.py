@@ -1,0 +1,141 @@
+"""Reward variables: how measures are defined on a SAN model.
+
+Following the Möbius reward formalism the paper relies on:
+
+* a **rate reward** assigns a value to each *marking*; its interval-of-time
+  accumulation ``∫ value(marking(t)) dt`` divided by the interval length is
+  the time-averaged reward.  Availability measures are rate rewards whose
+  value is 1 in "up" markings and 0 otherwise.
+* an **impulse reward** assigns a value to each *activity completion*; its
+  accumulation counts (or weighs) events.  The paper's disk-replacement
+  rate is an impulse reward on disk-repair completions.
+
+Reward functions are evaluated through the model's *global view*, so they
+address places by full path (``"cluster/storage_tiers_down"``) or via
+pre-resolved slots for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from .patterns import path_match
+from typing import Callable
+
+from .errors import ModelError
+from .places import LocalView
+
+__all__ = ["RateReward", "ImpulseReward", "RewardResult"]
+
+
+class RateReward:
+    """Time-integrated function of the marking.
+
+    Parameters
+    ----------
+    name:
+        Result key.
+    function:
+        ``f(global_view) -> float`` evaluated whenever a place it reads
+        changes.  The simulator discovers the read set automatically.
+    """
+
+    kind = "rate"
+
+    def __init__(self, name: str, function: Callable[[LocalView], float]) -> None:
+        if not callable(function):
+            raise ModelError(f"rate reward {name!r}: function must be callable")
+        self.name = name
+        self.function = function
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RateReward({self.name!r})"
+
+
+class ImpulseReward:
+    """Accumulates a value each time a matching activity completes.
+
+    Parameters
+    ----------
+    name:
+        Result key.
+    activity_pattern:
+        :mod:`fnmatch` glob over activity paths
+        (``"*/tier[*]/replace_disk"``) or a predicate over the path.
+    value:
+        Constant increment, or ``f(global_view) -> float`` evaluated on the
+        post-completion marking.
+    """
+
+    kind = "impulse"
+
+    def __init__(
+        self,
+        name: str,
+        activity_pattern: str | Callable[[str], bool],
+        value: float | Callable[[LocalView], float] = 1.0,
+    ) -> None:
+        self.name = name
+        self.activity_pattern = activity_pattern
+        self.value = value
+
+    def matches(self, activity_path: str) -> bool:
+        """True if this reward observes the given activity instance."""
+        if callable(self.activity_pattern):
+            return bool(self.activity_pattern(activity_path))
+        return path_match(activity_path, self.activity_pattern)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ImpulseReward({self.name!r}, {self.activity_pattern!r})"
+
+
+@dataclass
+class RewardResult:
+    """Accumulated outcome of one reward variable over one run.
+
+    Attributes
+    ----------
+    name / kind:
+        Identity of the reward.
+    integral:
+        For rate rewards: ``∫ value dt`` over the observation window.
+    impulse_sum:
+        For impulse rewards: sum of impulse values.
+    count:
+        For impulse rewards: number of matching completions.
+    duration:
+        Length of the observation window (after warm-up).
+    """
+
+    name: str
+    kind: str
+    integral: float = 0.0
+    impulse_sum: float = 0.0
+    count: int = 0
+    duration: float = 0.0
+
+    @property
+    def time_average(self) -> float:
+        """Mean rate-reward value over the window (rate rewards)."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.integral / self.duration
+
+    @property
+    def rate(self) -> float:
+        """Impulses per hour over the window (impulse rewards)."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.impulse_sum / self.duration
+
+    @property
+    def value(self) -> float:
+        """The headline scalar: time average for rate, sum for impulse."""
+        return self.time_average if self.kind == "rate" else self.impulse_sum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "rate":
+            return f"RewardResult({self.name!r}, time_average={self.time_average:.6g})"
+        return (
+            f"RewardResult({self.name!r}, sum={self.impulse_sum:.6g}, "
+            f"count={self.count})"
+        )

@@ -1,0 +1,518 @@
+"""Discrete-event simulator for flattened stochastic activity networks.
+
+The engine executes the standard SAN semantics:
+
+* a timed activity is *activated* when its input-gate predicates become
+  true: its delay is sampled and a completion event is scheduled;
+* if the activity becomes disabled before completing, the event is
+  cancelled (lazy cancellation via activation tokens);
+* on completion the input-gate functions run, a case is selected, and the
+  output-gate functions run;
+* instantaneous activities fire, highest priority first, until none is
+  enabled, before simulated time advances again.
+
+Enabling checks are *incremental*: the simulator learns which marking slots
+each predicate reads (the views track reads) and re-evaluates an activity
+only when one of those slots changes.  This makes large replicated models
+(the 4800-disk petascale fleet) cheap to simulate: an event touches a few
+places and therefore re-evaluates a few activities, independent of model
+size.
+
+Reward variables (:mod:`repro.core.rewards`) and traces
+(:mod:`repro.core.trace`) are observed with the same dependency machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .composition import FlatModel
+from .distributions import Distribution
+from .errors import InstantaneousLoopError, SimulationError
+from .places import LocalView, MarkingVector
+from .rewards import ImpulseReward, RateReward, RewardResult
+from .rng import make_generator
+from .san import INSTANT, TIMED
+from .trace import BinaryTrace, EventTrace
+
+__all__ = ["Simulator", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run.
+
+    Index with the reward name: ``result["cfs_availability"].time_average``.
+    """
+
+    final_time: float
+    duration: float
+    n_events: int
+    rewards: dict[str, RewardResult]
+    traces: dict[str, BinaryTrace | EventTrace]
+    stopped_early: bool
+    _final_values: list[int] = field(default_factory=list, repr=False)
+    _paths: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __getitem__(self, name: str) -> RewardResult:
+        try:
+            return self.rewards[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown reward {name!r}; available: {sorted(self.rewards)}"
+            ) from None
+
+    def place(self, path: str) -> int:
+        """Final marking of a place (by path or alias)."""
+        try:
+            return self._final_values[self._paths[path]]
+        except KeyError:
+            raise KeyError(f"unknown place path {path!r}") from None
+
+    def trace(self, name: str) -> BinaryTrace | EventTrace:
+        """Recorded trace by name."""
+        try:
+            return self.traces[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown trace {name!r}; available: {sorted(self.traces)}"
+            ) from None
+
+
+class Simulator:
+    """Executes runs of a :class:`~repro.core.composition.FlatModel`.
+
+    The simulator is reusable: dependency maps discovered during one run
+    carry over to the next (they are conservative supersets, so correctness
+    is unaffected and later runs start warm).
+
+    Parameters
+    ----------
+    model:
+        Flattened model to execute.
+    base_seed:
+        Root entropy; run ``k`` (the ``k``-th call to :meth:`run` without an
+        explicit seed) uses an independent stream derived from it.
+    max_instant_chain:
+        Fixpoint guard: maximum zero-time firings at a single instant before
+        :class:`~repro.core.errors.InstantaneousLoopError` is raised.
+    """
+
+    def __init__(
+        self, model: FlatModel, base_seed: int = 0, max_instant_chain: int = 100_000
+    ) -> None:
+        self.model = model
+        self.base_seed = int(base_seed)
+        self.max_instant_chain = int(max_instant_chain)
+        self._run_counter = 0
+
+        acts = model.activities
+        self._n_acts = len(acts)
+        self._timed_ids = [a.ident for a in acts if a.definition.kind == TIMED]
+        self._instant_ids = [a.ident for a in acts if a.definition.kind == INSTANT]
+        # place slot -> activity ids whose enabling may depend on it
+        self._dep_map: dict[int, set[int]] = {}
+        self._act_deps: list[set[int]] = [set() for _ in range(self._n_acts)]
+        # cache: impulse/trace pattern string -> matching activity ids
+        self._pattern_cache: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _matching_ids(self, pattern: str | Callable[[str], bool]) -> list[int]:
+        if callable(pattern):
+            return [
+                a.ident for a in self.model.activities if pattern(a.path)
+            ]
+        cached = self._pattern_cache.get(pattern)
+        if cached is None:
+            from .patterns import path_match
+
+            cached = [
+                a.ident
+                for a in self.model.activities
+                if path_match(a.path, pattern)
+            ]
+            self._pattern_cache[pattern] = cached
+        return cached
+
+    def _register_deps(self, aid: int, reads: set[int]) -> None:
+        known = self._act_deps[aid]
+        new = reads - known
+        if new:
+            known |= new
+            dep_map = self._dep_map
+            for slot in new:
+                dep_map.setdefault(slot, set()).add(aid)
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float,
+        *,
+        warmup: float = 0.0,
+        rewards: Sequence[RateReward | ImpulseReward] = (),
+        traces: Sequence[BinaryTrace | EventTrace] = (),
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        stop_predicate: Callable[[LocalView], bool] | None = None,
+    ) -> RunResult:
+        """Simulate one trajectory on ``[0, until]`` hours.
+
+        Parameters
+        ----------
+        until:
+            End of simulated time.
+        warmup:
+            Rewards accumulate only on ``[warmup, until]`` (traces record
+            the full window).
+        rewards / traces:
+            Observers for this run.
+        seed / rng:
+            Explicit stream control; by default run ``k`` uses the stream
+            derived from ``(base_seed, "run", k)``.
+        stop_predicate:
+            Optional early-stop condition evaluated on the global view
+            after each event.
+        """
+        if until <= 0.0:
+            raise SimulationError(f"until must be positive, got {until}")
+        if not 0.0 <= warmup < until:
+            raise SimulationError(
+                f"warmup must lie in [0, until), got warmup={warmup}, until={until}"
+            )
+        if rng is None:
+            if seed is None:
+                seed_path: tuple = ("run", self._run_counter)
+                rng = make_generator(self.base_seed, *seed_path)
+            else:
+                rng = make_generator(int(seed))
+        self._run_counter += 1
+
+        model = self.model
+        vector = model.new_marking()
+        views = [
+            LocalView(vector, act.index) for act in model.activities
+        ]
+        gview = model.global_view(vector)
+        defs = [act.definition for act in model.activities]
+
+        token = [0] * self._n_acts
+        active = [False] * self._n_acts  # timed activity has a live event
+        heap: list[tuple[float, int, int, int]] = []
+        seq = 0
+        now = 0.0
+        n_events = 0
+
+        # -- reward / trace wiring ------------------------------------
+        rate_rewards: list[RateReward] = []
+        impulse_rewards: list[ImpulseReward] = []
+        for r in rewards:
+            if isinstance(r, RateReward):
+                rate_rewards.append(r)
+            elif isinstance(r, ImpulseReward):
+                impulse_rewards.append(r)
+            else:
+                raise SimulationError(f"unsupported reward object: {r!r}")
+
+        results: dict[str, RewardResult] = {}
+        for r in rate_rewards:
+            if r.name in results:
+                raise SimulationError(f"duplicate reward name {r.name!r}")
+            results[r.name] = RewardResult(r.name, "rate")
+        for r in impulse_rewards:
+            if r.name in results:
+                raise SimulationError(f"duplicate reward name {r.name!r}")
+            results[r.name] = RewardResult(r.name, "impulse")
+
+        binary_traces: list[BinaryTrace] = []
+        event_traces: list[EventTrace] = []
+        trace_map: dict[str, BinaryTrace | EventTrace] = {}
+        for tr in traces:
+            if tr.name in trace_map:
+                raise SimulationError(f"duplicate trace name {tr.name!r}")
+            trace_map[tr.name] = tr
+            tr.reset()
+            if isinstance(tr, BinaryTrace):
+                binary_traces.append(tr)
+            elif isinstance(tr, EventTrace):
+                event_traces.append(tr)
+            else:
+                raise SimulationError(f"unsupported trace object: {tr!r}")
+
+        impulse_by_act: dict[int, list[ImpulseReward]] = {}
+        for r in impulse_rewards:
+            ids = self._matching_ids(r.activity_pattern)
+            if not ids:
+                raise SimulationError(
+                    f"impulse reward {r.name!r} matches no activity "
+                    f"(pattern {r.activity_pattern!r})"
+                )
+            for aid in ids:
+                impulse_by_act.setdefault(aid, []).append(r)
+        etrace_by_act: dict[int, list[EventTrace]] = {}
+        for tr in event_traces:
+            ids = self._matching_ids(tr.activity_pattern)
+            if not ids:
+                raise SimulationError(
+                    f"event trace {tr.name!r} matches no activity "
+                    f"(pattern {tr.activity_pattern!r})"
+                )
+            for aid in ids:
+                etrace_by_act.setdefault(aid, []).append(tr)
+
+        # rate-reward incremental state
+        rate_values: list[float] = [0.0] * len(rate_rewards)
+        rate_deps: dict[int, set[int]] = {}
+        rate_dep_sets: list[set[int]] = [set() for _ in rate_rewards]
+        btrace_values: list[bool] = [False] * len(binary_traces)
+        btrace_deps: dict[int, set[int]] = {}
+        btrace_dep_sets: list[set[int]] = [set() for _ in binary_traces]
+
+        def eval_rate(i: int) -> float:
+            vector.begin_tracking()
+            try:
+                val = float(rate_rewards[i].function(gview))
+            finally:
+                reads = vector.end_tracking()
+            new = reads - rate_dep_sets[i]
+            if new:
+                rate_dep_sets[i] |= new
+                for slot in new:
+                    rate_deps.setdefault(slot, set()).add(i)
+            return val
+
+        def eval_btrace(i: int) -> bool:
+            vector.begin_tracking()
+            try:
+                val = bool(binary_traces[i].function(gview))
+            finally:
+                reads = vector.end_tracking()
+            new = reads - btrace_dep_sets[i]
+            if new:
+                btrace_dep_sets[i] |= new
+                for slot in new:
+                    btrace_deps.setdefault(slot, set()).add(i)
+            return val
+
+        # -- enabling machinery ----------------------------------------
+        def eval_enabled(aid: int) -> bool:
+            vector.begin_tracking()
+            try:
+                val = defs[aid].is_enabled(views[aid])
+            finally:
+                reads = vector.end_tracking()
+            self._register_deps(aid, reads)
+            return val
+
+        def sample_delay(aid: int) -> float:
+            dist = defs[aid].distribution
+            if not isinstance(dist, Distribution):
+                vector.begin_tracking()
+                try:
+                    dist = dist(views[aid])
+                finally:
+                    reads = vector.end_tracking()
+                self._register_deps(aid, reads)
+                if not isinstance(dist, Distribution):
+                    raise SimulationError(
+                        f"activity {self.model.activities[aid].path!r}: "
+                        "distribution callable did not return a Distribution"
+                    )
+            delay = dist.sample(rng)
+            if delay < 0.0 or np.isnan(delay):
+                raise SimulationError(
+                    f"activity {self.model.activities[aid].path!r} sampled "
+                    f"invalid delay {delay!r}"
+                )
+            return float(delay)
+
+        def activate(aid: int) -> None:
+            nonlocal seq
+            token[aid] += 1
+            active[aid] = True
+            heapq.heappush(heap, (now + sample_delay(aid), seq, aid, token[aid]))
+            seq += 1
+
+        def deactivate(aid: int) -> None:
+            token[aid] += 1
+            active[aid] = False
+
+        def update_timed(aid: int) -> None:
+            enabled_now = eval_enabled(aid)
+            if enabled_now and not active[aid]:
+                activate(aid)
+            elif not enabled_now and active[aid]:
+                deactivate(aid)
+            elif enabled_now and active[aid] and defs[aid].reactivate:
+                deactivate(aid)
+                activate(aid)
+
+        def complete(aid: int) -> set[int]:
+            """Run gate functions and cases; return ids of dirty activities."""
+            nonlocal n_events
+            n_events += 1
+            view = views[aid]
+            d = defs[aid]
+            for ig in d.input_gates:
+                ig.function(view, rng)
+            if d.cases:
+                probs = [c.probability_in(view) for c in d.cases]
+                total = sum(probs)
+                if not (abs(total - 1.0) <= 1e-9):
+                    raise SimulationError(
+                        f"activity {self.model.activities[aid].path!r}: case "
+                        f"probabilities sum to {total} at completion"
+                    )
+                u = rng.uniform()
+                acc = 0.0
+                chosen = d.cases[-1]
+                for c, p in zip(d.cases, probs):
+                    acc += p
+                    if u <= acc:
+                        chosen = c
+                        break
+                chosen.function(view, rng)
+            for og in d.output_gates:
+                og.function(view, rng)
+
+            # Observers (post-state).
+            if now >= warmup:
+                for r in impulse_by_act.get(aid, ()):
+                    value = r.value(gview) if callable(r.value) else float(r.value)
+                    res = results[r.name]
+                    res.impulse_sum += value
+                    res.count += 1
+            for tr in etrace_by_act.get(aid, ()):
+                tr.record(now, self.model.activities[aid].path, gview)
+
+            changed = vector.drain_changed()
+            all_changed.update(changed)
+            dirty: set[int] = set()
+            dep_map = self._dep_map
+            for slot in changed:
+                deps = dep_map.get(slot)
+                if deps:
+                    dirty |= deps
+            return dirty
+
+        def settle(initial_dirty: set[int], pending_instants: set[int]) -> None:
+            """Update timed enabling and run the instantaneous fixpoint."""
+            dirty = initial_dirty
+            chain = 0
+            while True:
+                for aid in dirty:
+                    if defs[aid].kind == TIMED:
+                        update_timed(aid)
+                    else:
+                        pending_instants.add(aid)
+                dirty = set()
+                fired = False
+                # Highest priority first; ties broken by definition order.
+                best: tuple[int, int] | None = None
+                for aid in pending_instants:
+                    if eval_enabled(aid):
+                        key = (-defs[aid].priority, aid)
+                        if best is None or key < best:
+                            best = key
+                if best is not None:
+                    aid = best[1]
+                    chain += 1
+                    if chain > self.max_instant_chain:
+                        raise InstantaneousLoopError(
+                            f"more than {self.max_instant_chain} instantaneous "
+                            f"firings at t={now}; last activity "
+                            f"{self.model.activities[aid].path!r}"
+                        )
+                    dirty = complete(aid)
+                    fired = True
+                if not fired:
+                    break
+
+        # -- initialization at t = 0 -----------------------------------
+        all_changed: set[int] = set()
+        for aid in self._timed_ids:
+            if eval_enabled(aid):
+                activate(aid)
+        settle(set(), set(self._instant_ids))
+
+        for i in range(len(rate_rewards)):
+            rate_values[i] = eval_rate(i)
+        for i, tr in enumerate(binary_traces):
+            btrace_values[i] = eval_btrace(i)
+            tr.observe(0.0, btrace_values[i])
+        all_changed.clear()
+
+        last_t = 0.0
+        stopped_early = False
+
+        def integrate_to(t: float) -> None:
+            nonlocal last_t
+            a = max(last_t, warmup)
+            b = min(t, until)
+            if b > a:
+                for i, val in enumerate(rate_values):
+                    if val != 0.0:
+                        results[rate_rewards[i].name].integral += val * (b - a)
+            last_t = t
+
+        # -- event loop --------------------------------------------------
+        while heap:
+            ftime, _s, aid, tok = heapq.heappop(heap)
+            if tok != token[aid] or not active[aid]:
+                continue
+            if ftime > until:
+                break
+            integrate_to(ftime)
+            now = ftime
+            active[aid] = False
+            token[aid] += 1
+
+            dirty = complete(aid)
+            dirty.add(aid)  # the fired activity may re-enable itself
+            settle(dirty, set())
+
+            # Refresh rate rewards / binary traces whose inputs changed.
+            if all_changed:
+                touched_rewards: set[int] = set()
+                touched_traces: set[int] = set()
+                for slot in all_changed:
+                    touched_rewards |= rate_deps.get(slot, set())
+                    touched_traces |= btrace_deps.get(slot, set())
+                for i in touched_rewards:
+                    rate_values[i] = eval_rate(i)
+                for i in touched_traces:
+                    val = eval_btrace(i)
+                    if val != btrace_values[i]:
+                        btrace_values[i] = val
+                        binary_traces[i].observe(now, val)
+                all_changed.clear()
+
+            if stop_predicate is not None and stop_predicate(gview):
+                stopped_early = True
+                break
+
+        end_time = now if stopped_early else until
+        integrate_to(end_time)
+        duration = max(end_time - warmup, 0.0)
+        for res in results.values():
+            res.duration = duration
+        for tr in binary_traces:
+            tr.finish(end_time)
+
+        return RunResult(
+            final_time=end_time,
+            duration=duration,
+            n_events=n_events,
+            rewards=results,
+            traces=trace_map,
+            stopped_early=stopped_early,
+            _final_values=list(vector.values),
+            _paths=self.model.paths,
+        )

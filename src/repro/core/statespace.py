@@ -1,0 +1,236 @@
+"""Exhaustive state-space generation for all-exponential SANs.
+
+For models whose timed activities are all exponentially distributed, the
+underlying stochastic process is a continuous-time Markov chain.  This
+module explores the reachable tangible markings, eliminates vanishing
+markings (those with enabled instantaneous activities) by following the
+zero-time firing chains, and emits the CTMC generator — enabling exact
+numerical solutions against which the simulator is validated.
+
+Restrictions (checked, with clear errors):
+
+* every timed activity's distribution must be :class:`Exponential`
+  (constant or marking-dependent, evaluated per state);
+* gate and case functions must not draw random numbers — randomness is
+  expressible only through case *probabilities*.  The explorer passes a
+  guard object that raises if a gate function touches the RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .composition import FlatModel
+from .distributions import Distribution, Exponential
+from .errors import StateSpaceError
+from .places import LocalView, MarkingVector
+from .san import INSTANT, TIMED
+
+__all__ = ["StateSpace", "explore", "ForbiddenRNG"]
+
+
+class ForbiddenRNG:
+    """Stand-in RNG that raises if a gate function tries to use it.
+
+    State-space generation requires deterministic gate functions; random
+    branching must be modeled with cases so that probabilities are explicit.
+    """
+
+    def __getattr__(self, name: str):  # pragma: no cover - trivial
+        raise StateSpaceError(
+            "gate/case functions must be deterministic for state-space "
+            f"generation; attempted to call rng.{name}(). Model random "
+            "outcomes with activity cases instead."
+        )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One CTMC transition: ``source --rate--> target``."""
+
+    source: int
+    target: int
+    rate: float
+
+
+class StateSpace:
+    """The explored tangible state space of an all-exponential SAN.
+
+    Attributes
+    ----------
+    model:
+        The flattened model that was explored.
+    states:
+        Tangible markings, index-aligned with CTMC state numbering;
+        ``states[0]`` is the initial (settled) marking.
+    transitions:
+        Aggregated CTMC transitions (self-loops removed).
+    """
+
+    def __init__(
+        self,
+        model: FlatModel,
+        states: list[tuple[int, ...]],
+        transitions: list[Transition],
+    ) -> None:
+        self.model = model
+        self.states = states
+        self.transitions = transitions
+
+    @property
+    def n_states(self) -> int:
+        """Number of tangible states."""
+        return len(self.states)
+
+    def reward_vector(self, function: Callable[[LocalView], float]) -> list[float]:
+        """Evaluate a rate-reward function in every tangible state."""
+        vector = self.model.new_marking()
+        view = self.model.global_view(vector)
+        out: list[float] = []
+        for state in self.states:
+            vector.values[:] = list(state)
+            out.append(float(function(view)))
+        return out
+
+    def to_ctmc(self):
+        """Build a :class:`repro.markov.ctmc.CTMC` from the transitions."""
+        from ..markov.ctmc import CTMC
+
+        ctmc = CTMC(self.n_states)
+        for tr in self.transitions:
+            ctmc.add_rate(tr.source, tr.target, tr.rate)
+        return ctmc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateSpace(states={self.n_states}, transitions={len(self.transitions)})"
+
+
+def _case_outcomes(definition, view, rng):
+    """Yield (probability, case_function) pairs for an activity completion."""
+    if not definition.cases:
+        return [(1.0, None)]
+    probs = [c.probability_in(view) for c in definition.cases]
+    total = sum(probs)
+    if abs(total - 1.0) > 1e-9:
+        raise StateSpaceError(
+            f"case probabilities sum to {total} during exploration"
+        )
+    return [(p, c.function) for p, c in zip(probs, definition.cases) if p > 0.0]
+
+
+def explore(model: FlatModel, max_states: int = 200_000) -> StateSpace:
+    """Explore the tangible reachable markings of an all-exponential model.
+
+    Raises
+    ------
+    StateSpaceError
+        If a timed activity is not exponential, a vanishing loop is found,
+        or ``max_states`` is exceeded.
+    """
+    guard = ForbiddenRNG()
+    vector = model.new_marking()
+    views = [LocalView(vector, act.index) for act in model.activities]
+    defs = [act.definition for act in model.activities]
+    timed_ids = [a.ident for a in model.activities if a.definition.kind == TIMED]
+    instant_ids = [a.ident for a in model.activities if a.definition.kind == INSTANT]
+
+    def set_state(state: tuple[int, ...]) -> None:
+        vector.values[:] = list(state)
+        vector.changed.clear()
+
+    def snapshot() -> tuple[int, ...]:
+        return tuple(vector.values)
+
+    def rate_of(aid: int) -> float:
+        dist = defs[aid].distribution
+        if callable(dist) and not isinstance(dist, Distribution):
+            dist = dist(views[aid])
+        if not isinstance(dist, Exponential):
+            raise StateSpaceError(
+                f"activity {model.activities[aid].path!r} is not exponential "
+                f"({dist!r}); state-space generation requires exponential timing"
+            )
+        return dist.rate
+
+    def apply_completion(aid: int, case_fn) -> None:
+        view = views[aid]
+        d = defs[aid]
+        for ig in d.input_gates:
+            ig.function(view, guard)
+        if case_fn is not None:
+            case_fn(view, guard)
+        for og in d.output_gates:
+            og.function(view, guard)
+
+    def settle_vanishing(state: tuple[int, ...], depth: int = 0) -> list[tuple[float, tuple[int, ...]]]:
+        """Resolve instantaneous firings; return (prob, tangible_state) list."""
+        if depth > 10_000:
+            raise StateSpaceError("vanishing-state chain exceeded 10000 firings")
+        set_state(state)
+        best: int | None = None
+        best_key: tuple[int, int] | None = None
+        for aid in instant_ids:
+            set_state(state)
+            if defs[aid].is_enabled(views[aid]):
+                key = (-defs[aid].priority, aid)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = aid
+        if best is None:
+            return [(1.0, state)]
+        set_state(state)
+        outcomes = _case_outcomes(defs[best], views[best], guard)
+        results: list[tuple[float, tuple[int, ...]]] = []
+        for prob, case_fn in outcomes:
+            set_state(state)
+            apply_completion(best, case_fn)
+            results.extend(
+                (prob * p2, s2) for p2, s2 in settle_vanishing(snapshot(), depth + 1)
+            )
+        return results
+
+    initial_outcomes = settle_vanishing(tuple(model.initial))
+    if len(initial_outcomes) != 1:
+        raise StateSpaceError(
+            "the initial marking settles probabilistically; exploration "
+            "requires a unique tangible initial state"
+        )
+    initial = initial_outcomes[0][1]
+
+    index: dict[tuple[int, ...], int] = {initial: 0}
+    states: list[tuple[int, ...]] = [initial]
+    agg: dict[tuple[int, int], float] = {}
+    frontier = [initial]
+
+    while frontier:
+        state = frontier.pop()
+        sidx = index[state]
+        for aid in timed_ids:
+            set_state(state)
+            if not defs[aid].is_enabled(views[aid]):
+                continue
+            set_state(state)
+            rate = rate_of(aid)
+            set_state(state)
+            outcomes = _case_outcomes(defs[aid], views[aid], guard)
+            for prob, case_fn in outcomes:
+                set_state(state)
+                apply_completion(aid, case_fn)
+                for p2, tangible in settle_vanishing(snapshot()):
+                    tidx = index.get(tangible)
+                    if tidx is None:
+                        if len(states) >= max_states:
+                            raise StateSpaceError(
+                                f"state space exceeds max_states={max_states}"
+                            )
+                        tidx = len(states)
+                        index[tangible] = tidx
+                        states.append(tangible)
+                        frontier.append(tangible)
+                    if tidx != sidx:
+                        key = (sidx, tidx)
+                        agg[key] = agg.get(key, 0.0) + rate * prob * p2
+
+    transitions = [Transition(s, t, r) for (s, t), r in sorted(agg.items())]
+    return StateSpace(model, states, transitions)

@@ -1,0 +1,179 @@
+"""Trace observers: recorded trajectories of a simulation run.
+
+Two kinds of traces feed the log generator (:mod:`repro.loggen`) and the
+log-analysis loop-closure tests:
+
+* :class:`BinaryTrace` watches a boolean function of the marking (e.g. "CFS
+  is up") and records every transition, yielding up/down intervals — these
+  become the outage windows of Table 1.
+* :class:`EventTrace` records completions of matching activities (e.g.
+  every disk replacement), yielding timestamped event streams — these
+  become Table 4's disk-replacement log and Table 2's mount-failure storms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from .patterns import path_match
+from typing import Callable, Iterator
+
+from .errors import ModelError
+from .places import LocalView
+
+__all__ = ["BinaryTrace", "EventTrace", "Interval", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A maximal interval during which the watched condition was constant."""
+
+    start: float
+    end: float
+    value: bool
+
+    @property
+    def length(self) -> float:
+        """Interval length in hours."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded activity completion."""
+
+    time: float
+    activity: str
+    payload: object = None
+
+
+class BinaryTrace:
+    """Records transitions of a boolean marking function.
+
+    After a run, :meth:`intervals` yields the piecewise-constant trajectory
+    and :meth:`downtime` / :meth:`uptime` / :meth:`availability` summarize
+    it.  The simulator calls :meth:`observe`; user code only reads.
+    """
+
+    kind = "binary-trace"
+
+    def __init__(self, name: str, function: Callable[[LocalView], bool]) -> None:
+        if not callable(function):
+            raise ModelError(f"binary trace {name!r}: function must be callable")
+        self.name = name
+        self.function = function
+        self._transitions: list[tuple[float, bool]] = []
+        self._end_time: float | None = None
+
+    # -- simulator-facing ------------------------------------------------
+    def reset(self) -> None:
+        """Clear recorded state before a run."""
+        self._transitions = []
+        self._end_time = None
+
+    def observe(self, time: float, value: bool) -> None:
+        """Record the value at ``time`` if it changed."""
+        if not self._transitions or self._transitions[-1][1] != value:
+            self._transitions.append((time, bool(value)))
+
+    def finish(self, end_time: float) -> None:
+        """Close the trace at the end of the observation window."""
+        self._end_time = end_time
+
+    # -- user-facing -----------------------------------------------------
+    @property
+    def transitions(self) -> list[tuple[float, bool]]:
+        """Raw (time, value) change points, first entry at window start."""
+        return list(self._transitions)
+
+    def intervals(self) -> list[Interval]:
+        """Maximal constant-value intervals covering the window."""
+        if self._end_time is None:
+            raise ModelError(f"trace {self.name!r} has not been finished")
+        out: list[Interval] = []
+        for i, (t, v) in enumerate(self._transitions):
+            end = (
+                self._transitions[i + 1][0]
+                if i + 1 < len(self._transitions)
+                else self._end_time
+            )
+            if end > t:
+                out.append(Interval(t, end, v))
+        return out
+
+    def intervals_where(self, value: bool) -> list[Interval]:
+        """Intervals during which the condition equaled ``value``."""
+        return [iv for iv in self.intervals() if iv.value == value]
+
+    def uptime(self) -> float:
+        """Total hours with the condition true."""
+        return sum(iv.length for iv in self.intervals_where(True))
+
+    def downtime(self) -> float:
+        """Total hours with the condition false."""
+        return sum(iv.length for iv in self.intervals_where(False))
+
+    def availability(self) -> float:
+        """Fraction of the window with the condition true."""
+        up, down = self.uptime(), self.downtime()
+        total = up + down
+        return up / total if total > 0.0 else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryTrace({self.name!r}, transitions={len(self._transitions)})"
+
+
+class EventTrace:
+    """Records completions of activities matching a path pattern.
+
+    ``payload`` (optional) is evaluated on the post-completion marking and
+    stored with each event; use it to capture, e.g., how many compute nodes
+    a transient network storm disconnected.
+    """
+
+    kind = "event-trace"
+
+    def __init__(
+        self,
+        name: str,
+        activity_pattern: str | Callable[[str], bool],
+        payload: Callable[[LocalView], object] | None = None,
+    ) -> None:
+        self.name = name
+        self.activity_pattern = activity_pattern
+        self.payload = payload
+        self._events: list[TraceEvent] = []
+
+    def matches(self, activity_path: str) -> bool:
+        """True if this trace observes the given activity instance."""
+        if callable(self.activity_pattern):
+            return bool(self.activity_pattern(activity_path))
+        return path_match(activity_path, self.activity_pattern)
+
+    # -- simulator-facing ------------------------------------------------
+    def reset(self) -> None:
+        """Clear recorded state before a run."""
+        self._events = []
+
+    def record(self, time: float, activity_path: str, view: LocalView) -> None:
+        """Record one completion (payload evaluated on post-state)."""
+        payload = self.payload(view) if self.payload is not None else None
+        self._events.append(TraceEvent(time, activity_path, payload))
+
+    # -- user-facing -----------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All recorded events in completion order."""
+        return list(self._events)
+
+    def times(self) -> list[float]:
+        """Completion times only."""
+        return [e.time for e in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventTrace({self.name!r}, events={len(self._events)})"

@@ -1,0 +1,73 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Each ``run_*`` function returns a structured result whose ``format()``
+method prints the paper's rows/series; ``run_all`` executes everything
+(at reduced fidelity unless ``full=True``) and returns the formatted
+report.
+"""
+
+from __future__ import annotations
+
+from .figure2 import DEFAULT_CONFIGS, Figure2Config, run_figure2
+from .figure3 import DEFAULT_AFRS, expected_replacements_per_week, run_figure3
+from .figure4 import run_figure4
+from .runner import FigureResult, Series, SeriesPoint, TableResult
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+from .table4 import Table4Result, run_table4
+from .table5 import Table5Result, run_table5
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_all",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "Table5Result",
+    "Figure2Config",
+    "DEFAULT_CONFIGS",
+    "DEFAULT_AFRS",
+    "expected_replacements_per_week",
+    "TableResult",
+    "FigureResult",
+    "Series",
+    "SeriesPoint",
+]
+
+
+def run_all(full: bool = False, seed: int = 2013) -> str:
+    """Regenerate every table and figure; returns the formatted report.
+
+    ``full=False`` (default) runs reduced sweeps suitable for a laptop
+    minute; ``full=True`` uses the paper-fidelity settings (several
+    minutes).
+    """
+    from ..loggen.abe import generate_abe_logs
+
+    logs = generate_abe_logs(seed=seed)
+    sections = [
+        run_table1(logs=logs).format(),
+        run_table2(logs=logs).format(),
+        run_table3(logs=logs).format(),
+        run_table4(seed=seed).format(),
+        run_table5().format(),
+    ]
+    if full:
+        fig_kwargs = {}
+        fig4_kwargs = {}
+    else:
+        fig_kwargs = {"n_steps": 4, "n_replications": 3, "hours": 4380.0}
+        fig4_kwargs = {"n_steps": 3, "n_replications": 3, "hours": 4380.0}
+    sections.append(run_figure2(**fig_kwargs).format())
+    sections.append(run_figure3(**fig_kwargs).format())
+    sections.append(run_figure4(**fig4_kwargs).format())
+    return "\n\n".join(sections)

@@ -1,0 +1,108 @@
+"""Figure 2 — availability of storage with respect to disk failures.
+
+"To evaluate the baseline effect of failures of disks on availability of
+the CFS, we evaluate the DDN_UNITS models ... in isolation from failures
+of other components of the SAN."  The x-axis scales the file system from
+ABE's 96 TB to the 12 PB of a petascale machine; each curve is a tuple
+(Weibull shape β, AFR %, RAID configuration, disk replacement hours).
+
+Expected shape (what the tests assert):
+
+* all configurations sit at ≈ 100 % availability at ABE scale;
+* degradation grows with scale, with lower β / higher AFR worse;
+* (8+3) dominates (8+2) at equal failure parameters;
+* the fitted ABE configuration (0.7, 2.92 %, 8+2, 4 h) stays ≈ 1 even at
+  petascale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfs.cluster import StorageModel
+from ..cfs.parameters import CFSParameters, abe_parameters
+from ..cfs.scaling import scale_step
+from ..core.experiment import replicate_runs
+from ..raid.config import RAID6_8P2, RAID_8P3, RAIDConfig
+from .runner import FigureResult, Series, SeriesPoint
+
+__all__ = ["Figure2Config", "DEFAULT_CONFIGS", "run_figure2"]
+
+
+@dataclass(frozen=True)
+class Figure2Config:
+    """One Figure 2 curve: (β, AFR, RAID geometry, replacement hours)."""
+
+    shape: float
+    afr: float
+    raid: RAIDConfig
+    replace_hours: float
+
+    @property
+    def label(self) -> str:
+        """The paper's tuple label, e.g. ``0.7,2.92,8+2,4``."""
+        return (
+            f"{self.shape:g},{100 * self.afr:.2f},{self.raid.label},"
+            f"{self.replace_hours:g}"
+        )
+
+    def apply(self, params: CFSParameters) -> CFSParameters:
+        """Build the parameter set for this curve at a given scale."""
+        return params.with_disks(
+            shape=self.shape,
+            afr=self.afr,
+            raid=self.raid,
+            replacement_hours=self.replace_hours,
+        )
+
+
+#: The paper's labelled curves plus the (8+3) comparisons it discusses.
+DEFAULT_CONFIGS: tuple[Figure2Config, ...] = (
+    Figure2Config(0.6, 0.0876, RAID6_8P2, 4.0),
+    Figure2Config(0.6, 0.0438, RAID6_8P2, 4.0),
+    Figure2Config(0.7, 0.0292, RAID6_8P2, 4.0),
+    Figure2Config(0.6, 0.0876, RAID_8P3, 4.0),
+    Figure2Config(0.7, 0.0292, RAID_8P3, 4.0),
+)
+
+
+def run_figure2(
+    configs: tuple[Figure2Config, ...] = DEFAULT_CONFIGS,
+    n_steps: int = 10,
+    n_replications: int = 8,
+    hours: float = 8760.0,
+    base_seed: int = 96,
+    base: CFSParameters | None = None,
+) -> FigureResult:
+    """Regenerate Figure 2.
+
+    Parameters mirror the paper's experiment: a storage-size sweep (ABE →
+    12 PB) for each disk-failure configuration, storage hardware only.
+    Reduce ``n_steps`` / ``n_replications`` / ``hours`` for quick runs.
+    """
+    base = base if base is not None else abe_parameters()
+    series: list[Series] = []
+    for ci, config in enumerate(configs):
+        points: list[SeriesPoint] = []
+        for k in range(1, n_steps + 1):
+            params = config.apply(scale_step(k, n_steps, base))
+            model = StorageModel(params, base_seed=base_seed + 1000 * ci + k)
+            exp = replicate_runs(
+                model.simulator,
+                hours,
+                n_replications=n_replications,
+                rewards=model.measures.rewards,
+                extra_metrics=model.measures.extra_metrics,
+            )
+            points.append(
+                SeriesPoint(params.raw_storage_tb, exp.estimate("storage_availability"))
+            )
+        series.append(Series(config.label, tuple(points)))
+    return FigureResult(
+        figure_id="Figure 2",
+        title="Availability of storage with respect to disk failures "
+        "(label = Weibull shape, AFR %, RAID config, replacement hours)",
+        x_label="storage (TB)",
+        y_label="storage availability",
+        series=tuple(series),
+    )

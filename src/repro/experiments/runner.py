@@ -1,0 +1,105 @@
+"""Shared result containers and formatting for experiment regenerators.
+
+Every ``run_tableN`` / ``run_figureN`` function returns one of these
+structures; ``format()`` renders the same rows/series the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.experiment import Estimate
+
+__all__ = ["TableResult", "SeriesPoint", "Series", "FigureResult"]
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A regenerated paper table."""
+
+    table_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+    notes: tuple[str, ...] = ()
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def render(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines = [f"{self.table_id}: {self.title}", render(self.headers)]
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(render(row) for row in self.rows)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, estimate) point of a figure series."""
+
+    x: float
+    estimate: Estimate
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve of a figure."""
+
+    label: str
+    points: tuple[SeriesPoint, ...]
+
+    def xs(self) -> list[float]:
+        """The x coordinates."""
+        return [p.x for p in self.points]
+
+    def means(self) -> list[float]:
+        """The point estimates."""
+        return [p.estimate.mean for p in self.points]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A regenerated paper figure (as data, ready for plotting or print)."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+    notes: tuple[str, ...] = ()
+
+    def series_by_label(self, label: str) -> Series:
+        """Look up one curve."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r}; available: {[s.label for s in self.series]}"
+        )
+
+    def format(self) -> str:
+        """Render all series as an aligned text table (x column + one
+        mean±hw column per series)."""
+        xs = self.series[0].xs()
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows: list[tuple[str, ...]] = []
+        for i, x in enumerate(xs):
+            cells = [f"{x:g}"]
+            for s in self.series:
+                p = s.points[i]
+                cells.append(f"{p.estimate.mean:.5f}±{p.estimate.half_width:.5f}")
+            rows.append(tuple(cells))
+        table = TableResult(
+            self.figure_id, f"{self.title} [{self.y_label}]",
+            tuple(headers), tuple(rows), self.notes,
+        )
+        return table.format()

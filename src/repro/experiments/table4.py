@@ -1,0 +1,95 @@
+"""Table 4 — disk failure log and Weibull survival analysis.
+
+The paper's Table 4 lists disk failures for the scratch partition between
+09/05/2007 and 11/28/2007 (11 failures across 480 disks) and reports:
+"Survival analysis of the disk failures (n = 480) using Weibull regression
+(in log relative-hazard form) gives the shape parameter as 0.6963571 with
+standard deviation of 0.1923109".
+
+This regenerator simulates the fleet's renewal process from its spring
+2007 deployment under the ground-truth law Weibull(β = 0.7, MTBF 300000 h),
+lists the failures that fall inside the SAN-log window, and re-fits the
+censored Weibull — recovering β ≈ 0.7 with a comparable standard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, timedelta
+
+from ..analysis.survival import WeibullFit, fit_weibull_censored
+from ..cfs.parameters import CFSParameters, abe_parameters
+from ..core.rng import make_generator
+from ..loggen.disks import DiskSurvivalData, disk_survival_dataset
+from .runner import TableResult
+
+__all__ = ["Table4Result", "run_table4"]
+
+#: Fleet deployment (ABE came online in spring 2007).
+DEPLOYMENT = datetime(2007, 4, 1)
+#: The paper's disk-log window.
+WINDOW_START = datetime(2007, 9, 5)
+WINDOW_END = datetime(2007, 11, 28)
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Regenerated Table 4."""
+
+    table: TableResult
+    data: DiskSurvivalData
+    fit: WeibullFit
+    failures_in_window: int
+
+    def format(self) -> str:
+        """Render the failure-day table and the survival-analysis line."""
+        lo, hi = self.fit.shape_confidence_interval()
+        return (
+            self.table.format()
+            + f"\nWeibull regression (log relative-hazard form): shape = "
+            + f"{self.fit.shape:.7f} (se of log-shape ~ {self.fit.se_log_shape:.7f},"
+            + f" se of shape ~ {self.fit.se_shape:.7f})"
+            + f"\n95% CI for the shape: [{lo:.3f}, {hi:.3f}]   "
+            + f"(paper: 0.6963571 with sd 0.1923109; ground truth 0.7)"
+            + f"\nimplied MTBF {self.fit.mtbf_hours:,.0f} h, AFR {100*self.fit.afr:.2f}%"
+        )
+
+
+def run_table4(
+    params: CFSParameters | None = None, seed: int = 496
+) -> Table4Result:
+    """Regenerate Table 4 from a synthetic fleet-survival dataset."""
+    params = params if params is not None else abe_parameters()
+    rng = make_generator(seed, "table4")
+    horizon_hours = (WINDOW_END - DEPLOYMENT).total_seconds() / 3600.0
+    window_start_hours = (WINDOW_START - DEPLOYMENT).total_seconds() / 3600.0
+
+    data = disk_survival_dataset(
+        n_slots=params.n_disks,
+        lifetime=params.disk_lifetime,
+        horizon_hours=horizon_hours,
+        rng=rng,
+    )
+    fit = fit_weibull_censored(data.durations, data.observed)
+
+    in_window = data.failures_in_window(window_start_hours, horizon_hours)
+    by_day: dict[date, int] = {}
+    for hours in in_window:
+        day = (DEPLOYMENT + timedelta(hours=float(hours))).date()
+        by_day[day] = by_day.get(day, 0) + 1
+    rows = tuple(
+        (day.strftime("%m/%d/%y"), str(count)) for day, count in sorted(by_day.items())
+    )
+    table = TableResult(
+        "Table 4",
+        "Disk failure log from 09/05/2007 to 11/28/2007 "
+        f"(n = {params.n_disks} disks; {len(in_window)} failures in window)",
+        ("Date", "Failed disks"),
+        rows,
+    )
+    return Table4Result(
+        table=table,
+        data=data,
+        fit=fit,
+        failures_in_window=len(in_window),
+    )

@@ -1,0 +1,42 @@
+"""Synthetic operational-log generation (the NCSA-log substitution)."""
+
+from .abe import (
+    COMPUTE_LOG_END,
+    COMPUTE_LOG_START,
+    SAN_LOG_END,
+    SAN_LOG_START,
+    AbeLogWindows,
+    AbeLogs,
+    generate_abe_logs,
+)
+from .disks import DiskSurvivalData, disk_survival_dataset
+from .generator import (
+    batch_outage_events,
+    generate_job_records,
+    hours_to_datetime,
+    job_end_events,
+    mount_failure_events,
+    outage_events_from_trace,
+    replacement_events_from_trace,
+    write_log,
+)
+
+__all__ = [
+    "AbeLogWindows",
+    "AbeLogs",
+    "generate_abe_logs",
+    "COMPUTE_LOG_START",
+    "COMPUTE_LOG_END",
+    "SAN_LOG_START",
+    "SAN_LOG_END",
+    "DiskSurvivalData",
+    "disk_survival_dataset",
+    "hours_to_datetime",
+    "outage_events_from_trace",
+    "replacement_events_from_trace",
+    "mount_failure_events",
+    "generate_job_records",
+    "job_end_events",
+    "batch_outage_events",
+    "write_log",
+]

@@ -1,0 +1,24 @@
+"""Analytic Markov-chain oracles used to validate the simulator."""
+
+from .birthdeath import birth_death_ctmc, birth_death_steady_state, mm1_queue_length
+from .ctmc import CTMC
+from .raid_markov import RAIDTierMarkov, raid_mttdl_approximation
+from .repairable import (
+    failover_pair_unavailability,
+    k_of_n_availability,
+    parallel_pair_availability,
+    two_state_availability,
+)
+
+__all__ = [
+    "CTMC",
+    "birth_death_ctmc",
+    "birth_death_steady_state",
+    "mm1_queue_length",
+    "RAIDTierMarkov",
+    "raid_mttdl_approximation",
+    "two_state_availability",
+    "parallel_pair_availability",
+    "k_of_n_availability",
+    "failover_pair_unavailability",
+]

@@ -1,0 +1,64 @@
+"""Birth-death chains in closed form.
+
+A birth-death chain has transitions only between neighbouring states
+(``i -> i+1`` at rate ``λᵢ``, ``i -> i-1`` at rate ``μᵢ``).  Its stationary
+distribution has the classic product form, which we use to validate both
+the CTMC solver and the simulator on queues and redundancy models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import ModelError
+from .ctmc import CTMC
+
+__all__ = ["birth_death_steady_state", "birth_death_ctmc", "mm1_queue_length"]
+
+
+def birth_death_steady_state(
+    birth_rates: Sequence[float], death_rates: Sequence[float]
+) -> np.ndarray:
+    """Stationary distribution of a finite birth-death chain.
+
+    ``birth_rates[i]`` is the rate from state i to i+1 (length n-1);
+    ``death_rates[i]`` is the rate from state i+1 to i (length n-1).
+    """
+    births = np.asarray(birth_rates, dtype=float)
+    deaths = np.asarray(death_rates, dtype=float)
+    if births.shape != deaths.shape:
+        raise ModelError("birth and death rate vectors must have equal length")
+    if np.any(births <= 0.0) or np.any(deaths <= 0.0):
+        raise ModelError("all birth and death rates must be positive")
+    n = births.size + 1
+    weights = np.ones(n)
+    for i in range(1, n):
+        weights[i] = weights[i - 1] * births[i - 1] / deaths[i - 1]
+    return weights / weights.sum()
+
+
+def birth_death_ctmc(
+    birth_rates: Sequence[float], death_rates: Sequence[float]
+) -> CTMC:
+    """The same chain as a :class:`CTMC` (for cross-validation)."""
+    births = list(birth_rates)
+    deaths = list(death_rates)
+    if len(births) != len(deaths):
+        raise ModelError("birth and death rate vectors must have equal length")
+    chain = CTMC(len(births) + 1)
+    for i, (b, d) in enumerate(zip(births, deaths)):
+        chain.add_rate(i, i + 1, b)
+        chain.add_rate(i + 1, i, d)
+    return chain
+
+
+def mm1_queue_length(arrival_rate: float, service_rate: float, capacity: int) -> float:
+    """Mean queue length of an M/M/1/K queue (birth-death special case)."""
+    if capacity < 1:
+        raise ModelError(f"capacity must be >= 1, got {capacity}")
+    pi = birth_death_steady_state(
+        [arrival_rate] * capacity, [service_rate] * capacity
+    )
+    return float(np.dot(np.arange(capacity + 1), pi))

@@ -1,0 +1,96 @@
+"""Closed-form results for classic repairable-system structures.
+
+These formulas anchor the simulator's validation suite: each has a SAN
+twin in the tests and the two must agree within confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ModelError
+
+__all__ = [
+    "two_state_availability",
+    "parallel_pair_availability",
+    "k_of_n_availability",
+    "failover_pair_unavailability",
+]
+
+
+def two_state_availability(mtbf: float, mttr: float) -> float:
+    """Steady-state availability of a single repairable component.
+
+    ``A = MTBF / (MTBF + MTTR)`` — exact for any lifetime/repair laws with
+    these means (renewal-reward), not just exponential ones.
+    """
+    if mtbf <= 0.0 or mttr < 0.0:
+        raise ModelError("MTBF must be > 0 and MTTR >= 0")
+    return mtbf / (mtbf + mttr)
+
+
+def parallel_pair_availability(mtbf: float, mttr: float) -> float:
+    """Availability of two independent exponential units in parallel.
+
+    The pair is up unless both units are down: ``1 - (1 - A)²``.
+    Exact for independent units with independent repair crews.
+    """
+    a = two_state_availability(mtbf, mttr)
+    return 1.0 - (1.0 - a) ** 2
+
+
+def k_of_n_availability(n: int, k: int, mtbf: float, mttr: float) -> float:
+    """Availability of a k-of-n system of independent exponential units.
+
+    The system is up when at least ``k`` of ``n`` units are up; units fail
+    and repair independently (one repair crew per unit).
+    """
+    if not (1 <= k <= n):
+        raise ModelError(f"need 1 <= k <= n, got k={k}, n={n}")
+    a = two_state_availability(mtbf, mttr)
+    total = 0.0
+    for i in range(k, n + 1):
+        total += math.comb(n, i) * a**i * (1.0 - a) ** (n - i)
+    return total
+
+
+def failover_pair_unavailability(
+    failure_rate: float,
+    repair_rate: float,
+    propagation_probability: float = 0.0,
+) -> float:
+    """Steady-state unavailability of a fail-over pair with correlated faults.
+
+    The paper's OSS model: each member fails at ``failure_rate``; a failure
+    propagates to the partner with probability *p* (taking the pair down
+    immediately); otherwise the pair survives on one member and is exposed
+    to a second independent failure.  Repairs proceed at ``repair_rate``
+    per failed member (independent crews); the pair is down when both
+    members are down.
+
+    States: 0 = both up, 1 = one down, 2 = both down (pair outage).
+    Transitions::
+
+        0 -> 1   2λ(1-p)        1 -> 0   μ
+        0 -> 2   2λp            1 -> 2   λ
+                                2 -> 1   2μ
+
+    Returns π₂, the probability of the outage state.
+    """
+    lam, mu, p = failure_rate, repair_rate, propagation_probability
+    if lam <= 0.0 or mu <= 0.0:
+        raise ModelError("rates must be positive")
+    if not 0.0 <= p <= 1.0:
+        raise ModelError(f"propagation probability must be in [0,1], got {p}")
+    from .ctmc import CTMC
+
+    chain = CTMC(3)
+    if p < 1.0:
+        chain.add_rate(0, 1, 2.0 * lam * (1.0 - p))
+    if p > 0.0:
+        chain.add_rate(0, 2, 2.0 * lam * p)
+    chain.add_rate(1, 0, mu)
+    chain.add_rate(1, 2, lam)
+    chain.add_rate(2, 1, 2.0 * mu)
+    return float(chain.steady_state()[2])

@@ -1,0 +1,27 @@
+"""Disk / RAID-tier / controller / DDN-unit SAN submodels."""
+
+from .config import RAID5_8P1, RAID6_8P2, RAID_8P3, RAIDConfig
+from .controller import (
+    build_failover_member_san,
+    build_failover_pair_node,
+    build_pair_control_san,
+)
+from .ddn import DDNUnitSpec, build_ddn_fleet_node, build_ddn_unit_node
+from .disk import build_disk_san
+from .tier import build_tier_control_san, build_tier_node
+
+__all__ = [
+    "RAIDConfig",
+    "RAID6_8P2",
+    "RAID_8P3",
+    "RAID5_8P1",
+    "build_disk_san",
+    "build_tier_control_san",
+    "build_tier_node",
+    "build_failover_member_san",
+    "build_pair_control_san",
+    "build_failover_pair_node",
+    "DDNUnitSpec",
+    "build_ddn_unit_node",
+    "build_ddn_fleet_node",
+]

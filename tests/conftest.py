@@ -1,0 +1,56 @@
+"""Shared fixtures and model builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SAN, Deterministic, Exponential, flatten
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def build_two_state_san(
+    name: str = "comp",
+    fail_rate: float = 1 / 100.0,
+    repair_rate: float = 1 / 10.0,
+    deterministic_repair: bool = False,
+):
+    """A repairable component: the workhorse validation model."""
+    san = SAN(name)
+    san.place("up", 1)
+
+    def fail(m, rng):
+        m["up"] = 0
+
+    def repair(m, rng):
+        m["up"] = 1
+
+    san.timed(
+        "fail",
+        Exponential(fail_rate),
+        enabled=lambda m: m["up"] == 1,
+        effect=fail,
+    )
+    repair_dist = (
+        Deterministic(1.0 / repair_rate)
+        if deterministic_repair
+        else Exponential(repair_rate)
+    )
+    san.timed(
+        "repair",
+        repair_dist,
+        enabled=lambda m: m["up"] == 0,
+        effect=repair,
+    )
+    return san
+
+
+@pytest.fixture
+def two_state_model():
+    """Flattened two-state model with exponential repair."""
+    return flatten(build_two_state_san())

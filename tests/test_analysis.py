@@ -1,0 +1,389 @@
+"""Log-analysis toolkit: events, parsing, filtering, availability, jobs."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    COMPLETED,
+    FAILED_OTHER,
+    FAILED_TRANSIENT,
+    EventLog,
+    JobRecord,
+    LogEvent,
+    Outage,
+    availability_from_outages,
+    availability_range,
+    coalesce_episodes,
+    detect_storms,
+    downtime_table,
+    format_event,
+    job_statistics,
+    jobs_from_events,
+    merge_overlapping,
+    mount_failures_by_day,
+    pair_outages,
+    parse_file,
+    parse_line,
+    parse_lines,
+    total_downtime_hours,
+)
+from repro.core import AnalysisError, ParseError
+
+T0 = datetime(2007, 7, 21, 23, 3)
+
+
+def ev(minutes: float = 0.0, **kw) -> LogEvent:
+    defaults = dict(
+        timestamp=T0 + timedelta(minutes=minutes),
+        source="oss-01",
+        component="san",
+        severity="ERROR",
+        event_type="io_hw_failure",
+        message="controller fault",
+    )
+    defaults.update(kw)
+    return LogEvent(**defaults)
+
+
+class TestLogEvent:
+    def test_day(self):
+        assert ev().day == T0.date()
+
+    def test_severity_validated(self):
+        with pytest.raises(AnalysisError):
+            ev(severity="LOUD")
+
+    def test_requires_source_and_type(self):
+        with pytest.raises(AnalysisError):
+            ev(source="")
+        with pytest.raises(AnalysisError):
+            ev(event_type="")
+
+    def test_attr_default(self):
+        e = ev(attrs={"cause": "I/O hardware"})
+        assert e.attr("cause") == "I/O hardware"
+        assert e.attr("nope", "x") == "x"
+
+
+class TestEventLog:
+    def test_sorted_on_construction(self):
+        log = EventLog([ev(10), ev(0), ev(5)])
+        times = [e.timestamp for e in log]
+        assert times == sorted(times)
+
+    def test_combinators(self):
+        log = EventLog(
+            [
+                ev(0),
+                ev(1, component="network", event_type="mount_failure", severity="WARN"),
+                ev(2, source="compute-1"),
+            ]
+        )
+        assert len(log.component("san")) == 2
+        assert len(log.types("mount_failure")) == 1
+        assert len(log.severity_at_least("ERROR")) == 2
+        assert len(log.from_sources("compute-1")) == 1
+        assert log.sources() == ["compute-1", "oss-01"]
+
+    def test_between_half_open(self):
+        log = EventLog([ev(0), ev(60)])
+        window = log.between(T0, T0 + timedelta(hours=1))
+        assert len(window) == 1
+
+    def test_counts(self):
+        log = EventLog([ev(0), ev(1), ev(24 * 60)])
+        by_day = log.count_by_day()
+        assert sorted(by_day.values()) == [1, 2]
+        assert log.count_by_type() == {"io_hw_failure": 3}
+
+    def test_empty_log_errors(self):
+        log = EventLog([])
+        with pytest.raises(AnalysisError):
+            _ = log.start
+        assert len(log) == 0
+
+    def test_concat(self):
+        log = EventLog([ev(0)]) + EventLog([ev(1)])
+        assert len(log) == 2
+
+    def test_severity_unknown(self):
+        with pytest.raises(AnalysisError):
+            EventLog([ev(0)]).severity_at_least("NOPE")
+
+
+class TestParsing:
+    def test_roundtrip_simple(self):
+        e = ev(attrs={"cause": "I/O hardware", "tier": "3"})
+        line = format_event(e)
+        back = parse_line(line)
+        assert back == e
+        assert back.attrs == dict(e.attrs)
+        assert back.message == e.message
+
+    def test_quoted_message_with_escapes(self):
+        e = ev(message='say "hi" \\ there')
+        assert parse_line(format_event(e)).message == e.message
+
+    def test_missing_required_key(self):
+        with pytest.raises(ParseError, match="missing required"):
+            parse_line("2007-07-21T23:03:00 host=a comp=san sev=ERROR")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(ParseError, match="timestamp"):
+            parse_line("yesterday host=a comp=b sev=ERROR type=t")
+
+    def test_bad_severity(self):
+        with pytest.raises(ParseError, match="severity"):
+            parse_line("2007-07-21T23:03:00 host=a comp=b sev=WAT type=t")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_line('2007-07-21T23:03:00 host=a comp=b sev=ERROR type=t msg="oops')
+
+    def test_duplicate_keys(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_line("2007-07-21T23:03:00 host=a host=b comp=c sev=ERROR type=t")
+
+    def test_lenient_mode_collects_errors(self):
+        lines = [
+            format_event(ev(0)),
+            "garbage line here",
+            "# a comment",
+            "",
+            format_event(ev(1)),
+        ]
+        report = parse_lines(lines, strict=False)
+        assert len(report.log) == 2
+        assert report.n_skipped == 1
+        assert report.errors[0][0] == 2
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ParseError):
+            parse_lines(["garbage"], strict=True)
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.loggen import write_log
+
+        events = [ev(i) for i in range(5)]
+        path = tmp_path / "test.log"
+        n = write_log(events, str(path))
+        assert n == 5
+        report = parse_file(path)
+        assert len(report.log) == 5
+        assert report.log.events[0] == events[0]
+
+    def test_reserved_attr_key_rejected_on_format(self):
+        e = ev(attrs={"msg": "collision"})
+        with pytest.raises(ParseError, match="reserved"):
+            format_event(e)
+
+
+class TestFiltering:
+    def test_coalesce_episodes(self):
+        log = EventLog([ev(0), ev(5), ev(10), ev(200)])
+        episodes = coalesce_episodes(log, gap_hours=1.0)
+        assert len(episodes) == 2
+        assert episodes[0].n_events == 3
+        assert episodes[0].duration_hours == pytest.approx(10 / 60)
+
+    def test_coalesce_respects_key(self):
+        log = EventLog([ev(0), ev(1, source="oss-02")])
+        episodes = coalesce_episodes(log, gap_hours=1.0)
+        assert len(episodes) == 2
+
+    def test_coalesce_bad_gap(self):
+        with pytest.raises(AnalysisError):
+            coalesce_episodes(EventLog([]), gap_hours=-1.0)
+
+    def test_pair_outages(self):
+        log = EventLog(
+            [
+                ev(0, event_type="outage_start", attrs={"cause": "I/O hardware"}),
+                ev(60, event_type="outage_end", attrs={"cause": "I/O hardware"}),
+            ]
+        )
+        outages = pair_outages(log)
+        assert len(outages) == 1
+        assert outages[0].hours == pytest.approx(1.0)
+        assert outages[0].cause == "I/O hardware"
+
+    def test_pair_outages_interleaved_causes(self):
+        log = EventLog(
+            [
+                ev(0, event_type="outage_start", attrs={"cause": "A"}),
+                ev(10, event_type="outage_start", attrs={"cause": "B"}),
+                ev(20, event_type="outage_end", attrs={"cause": "A"}),
+                ev(40, event_type="outage_end", attrs={"cause": "B"}),
+            ]
+        )
+        outages = pair_outages(log)
+        assert {o.cause for o in outages} == {"A", "B"}
+        assert sum(o.hours for o in outages) == pytest.approx((20 + 30) / 60)
+
+    def test_pair_outages_dangling_raises_without_end(self):
+        log = EventLog([ev(0, event_type="outage_start")])
+        with pytest.raises(AnalysisError, match="unclosed"):
+            pair_outages(log)
+
+    def test_pair_outages_dangling_clipped(self):
+        log = EventLog([ev(0, event_type="outage_start")])
+        end = T0 + timedelta(hours=2)
+        outages = pair_outages(log, window_end=end)
+        assert outages[0].hours == pytest.approx(2.0)
+
+    def test_pair_outages_end_without_start(self):
+        log = EventLog([ev(0, event_type="outage_end")])
+        with pytest.raises(AnalysisError, match="without start"):
+            pair_outages(log)
+
+    def test_detect_storms(self):
+        events = [
+            ev(0, source=f"compute-{i}", event_type="mount_failure") for i in range(5)
+        ] + [ev(600, source="compute-9", event_type="mount_failure")]
+        storms = detect_storms(EventLog(events), gap_hours=0.5, min_sources=3)
+        assert len(storms) == 1
+        assert storms[0].n_sources == 5
+
+    def test_mount_failures_by_day_counts_distinct_nodes(self):
+        events = [
+            ev(0, source="compute-1", event_type="mount_failure"),
+            ev(1, source="compute-1", event_type="mount_failure"),
+            ev(2, source="compute-2", event_type="mount_failure"),
+        ]
+        counts = mount_failures_by_day(EventLog(events))
+        assert list(counts.values()) == [2]
+
+
+class TestAvailability:
+    def mk_outage(self, start_h: float, hours: float, cause: str = "X") -> Outage:
+        s = T0 + timedelta(hours=start_h)
+        return Outage(cause, s, s + timedelta(hours=hours))
+
+    def test_merge_overlapping(self):
+        merged = merge_overlapping(
+            [self.mk_outage(0, 2), self.mk_outage(1, 3), self.mk_outage(10, 1)]
+        )
+        assert len(merged) == 2
+        assert merged[0].hours == pytest.approx(4.0)
+
+    def test_total_downtime_no_double_count(self):
+        total = total_downtime_hours([self.mk_outage(0, 2), self.mk_outage(1, 2)])
+        assert total == pytest.approx(3.0)
+
+    def test_availability(self):
+        outages = [self.mk_outage(10, 10)]
+        a = availability_from_outages(outages, T0, T0 + timedelta(hours=100))
+        assert a == pytest.approx(0.9)
+
+    def test_availability_clips_to_window(self):
+        outages = [self.mk_outage(-5, 10)]  # starts before window
+        a = availability_from_outages(outages, T0, T0 + timedelta(hours=100))
+        assert a == pytest.approx(0.95)
+
+    def test_availability_range_brackets_point_estimate(self):
+        outages = [self.mk_outage(i * 100, 3) for i in range(8)]
+        start, end = T0, T0 + timedelta(hours=800)
+        lo, hi = availability_range(outages, start, end, step_days=7)
+        a = availability_from_outages(outages, start, end)
+        assert lo <= a + 1e-9 and hi >= a - 1e-9
+
+    def test_downtime_table_sorted(self):
+        rows = downtime_table([self.mk_outage(10, 1), self.mk_outage(0, 1)])
+        assert rows[0].start < rows[1].start
+        assert "  " in rows[0].format()
+
+    def test_invalid_window(self):
+        with pytest.raises(AnalysisError):
+            availability_from_outages([], T0, T0)
+
+
+class TestJobs:
+    def mk_job(self, status: str, i: int = 0) -> JobRecord:
+        return JobRecord(f"j{i}", T0, 4.0, status)
+
+    def test_statistics(self):
+        jobs = (
+            [self.mk_job(COMPLETED, i) for i in range(90)]
+            + [self.mk_job(FAILED_TRANSIENT, 100 + i) for i in range(8)]
+            + [self.mk_job(FAILED_OTHER, 200 + i) for i in range(2)]
+        )
+        stats = job_statistics(jobs)
+        assert stats.total == 100
+        assert stats.failed == 10
+        assert stats.cluster_utility == pytest.approx(0.9)
+        assert stats.transient_to_other_ratio == pytest.approx(4.0)
+
+    def test_ratio_undefined_without_other_failures(self):
+        stats = job_statistics([self.mk_job(COMPLETED)])
+        with pytest.raises(AnalysisError):
+            _ = stats.transient_to_other_ratio
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(AnalysisError):
+            JobRecord("j", T0, 1.0, "exploded")
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(AnalysisError):
+            job_statistics([])
+
+    def test_jobs_from_events_roundtrip(self):
+        events = [
+            ev(
+                0,
+                component="job",
+                severity="INFO",
+                event_type="job_end",
+                attrs={"job": "j1", "status": COMPLETED, "hours": "3.5"},
+            )
+        ]
+        jobs = jobs_from_events(EventLog(events))
+        assert jobs[0].job_id == "j1"
+        assert jobs[0].duration_hours == pytest.approx(3.5)
+
+    def test_jobs_from_events_malformed(self):
+        events = [ev(0, event_type="job_end", attrs={"job": "j1"})]
+        with pytest.raises(AnalysisError, match="malformed"):
+            jobs_from_events(EventLog(events))
+
+    def test_format_rows(self):
+        stats = job_statistics([self.mk_job(COMPLETED)])
+        assert "Total jobs submitted" in stats.format()
+
+
+# -- property-based round-trips ------------------------------------------
+_attr_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+).filter(lambda k: k not in ("host", "comp", "sev", "type", "msg"))
+_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(
+    message=_values,
+    attrs=st.dictionaries(_attr_keys, _values, max_size=4),
+    minutes=st.integers(0, 10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_parse_format_roundtrip_property(message, attrs, minutes):
+    """format_event → parse_line is the identity for any payload."""
+    e = LogEvent(
+        timestamp=T0 + timedelta(minutes=minutes),
+        source="node-1",
+        component="san",
+        severity="WARN",
+        event_type="evt",
+        message=message,
+        attrs=attrs,
+    )
+    back = parse_line(format_event(e))
+    assert back.message == e.message
+    assert dict(back.attrs) == {k: str(v) for k, v in e.attrs.items()}
+    assert back.timestamp == e.timestamp

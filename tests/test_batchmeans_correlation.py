@@ -1,0 +1,158 @@
+"""Batch-means estimation and workload-failure correlation analysis."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EventLog,
+    JobRecord,
+    LogEvent,
+    bucket_counts,
+    workload_failure_correlation,
+)
+from repro.core import (
+    AnalysisError,
+    BinaryTrace,
+    SimulationError,
+    Simulator,
+    batch_means_from_steps,
+    batch_means_from_trace,
+    flatten,
+)
+from repro.markov import two_state_availability
+
+from conftest import build_two_state_san
+
+T0 = datetime(2007, 5, 3)
+
+
+class TestBatchMeansSteps:
+    def test_constant_signal(self):
+        res = batch_means_from_steps([0.0], [0.7], 100.0, n_batches=5)
+        assert res.estimate.mean == pytest.approx(0.7)
+        assert res.estimate.half_width == 0.0
+        assert res.batch_hours == pytest.approx(20.0)
+
+    def test_square_wave_mean(self):
+        times = [float(t) for t in range(0, 100, 10)]
+        values = [1.0 if i % 2 == 0 else 0.0 for i in range(10)]
+        res = batch_means_from_steps(times, values, 100.0, n_batches=5)
+        assert res.estimate.mean == pytest.approx(0.5)
+
+    def test_warmup_clips(self):
+        # signal: 0 for first half, 1 for second half
+        res = batch_means_from_steps(
+            [0.0, 50.0], [0.0, 1.0], 100.0, n_batches=4, warmup=50.0
+        )
+        assert res.estimate.mean == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            batch_means_from_steps([0.0], [1.0], 10.0, n_batches=1)
+        with pytest.raises(SimulationError):
+            batch_means_from_steps([5.0], [1.0], 10.0)  # undefined from 0
+        with pytest.raises(SimulationError):
+            batch_means_from_steps([0.0, 1.0], [1.0], 10.0)
+        with pytest.raises(SimulationError):
+            batch_means_from_steps([1.0, 0.5], [1.0, 0.0], 10.0)
+
+    def test_lag1_autocorrelation_of_alternating_batches(self):
+        # batches alternate 1,0,1,0 -> strong negative lag-1 correlation
+        times = [float(t) for t in range(0, 100, 10)]
+        values = [1.0 if i % 2 == 0 else 0.0 for i in range(10)]
+        res = batch_means_from_steps(times, values, 100.0, n_batches=10)
+        assert res.lag1_autocorrelation < -0.5
+        assert not res.batches_look_independent
+
+
+class TestBatchMeansTrace:
+    def test_matches_replication_estimate(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=21)
+        tr = BinaryTrace("up", lambda m: m["comp/up"] == 1)
+        sim.run(200_000.0, traces=[tr])
+        res = batch_means_from_trace(tr, n_batches=20, warmup=1_000.0)
+        expected = two_state_availability(100.0, 10.0)
+        assert abs(res.estimate.mean - expected) < max(
+            4 * res.estimate.half_width, 0.01
+        )
+        assert res.batches_look_independent
+
+    def test_consistent_with_trace_availability(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=22)
+        tr = BinaryTrace("up", lambda m: m["comp/up"] == 1)
+        sim.run(50_000.0, traces=[tr])
+        res = batch_means_from_trace(tr, n_batches=10)
+        assert res.estimate.mean == pytest.approx(tr.availability(), abs=1e-9)
+
+    def test_empty_trace_rejected(self):
+        tr = BinaryTrace("up", lambda m: True)
+        tr.reset()
+        with pytest.raises(SimulationError):
+            batch_means_from_trace(tr)
+
+
+def fail_event(hours: float) -> LogEvent:
+    return LogEvent(
+        timestamp=T0 + timedelta(hours=hours),
+        source="oss-1",
+        component="san",
+        severity="ERROR",
+        event_type="io_hw_failure",
+    )
+
+
+def job(hours: float, i: int) -> JobRecord:
+    return JobRecord(f"j{i}", T0 + timedelta(hours=hours), 1.0, "completed")
+
+
+class TestBucketCounts:
+    def test_counts(self):
+        times = [T0 + timedelta(hours=h) for h in (0.5, 1.5, 1.6, 30.0)]
+        counts = bucket_counts(times, T0, T0 + timedelta(hours=48), 24.0)
+        assert counts.tolist() == [3, 1]
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bucket_counts([], T0, T0, 24.0)
+        with pytest.raises(AnalysisError):
+            bucket_counts([], T0, T0 + timedelta(hours=1), 0.0)
+
+
+class TestCorrelation:
+    def test_positively_coupled_series(self):
+        # failures proportional to workload per day
+        rng = np.random.default_rng(3)
+        jobs = []
+        failures = []
+        k = 0
+        for day in range(30):
+            load = int(rng.integers(5, 50))
+            for _ in range(load):
+                jobs.append(job(day * 24 + float(rng.uniform(0, 24)), k))
+                k += 1
+            for _ in range(load // 10):
+                failures.append(fail_event(day * 24 + float(rng.uniform(0, 24))))
+        res = workload_failure_correlation(
+            jobs, EventLog(failures), bucket_hours=24.0, n_permutations=300
+        )
+        assert res.spearman_rho > 0.5
+        assert res.is_significant
+
+    def test_independent_series_not_significant(self):
+        rng = np.random.default_rng(4)
+        jobs = [job(float(rng.uniform(0, 720)), i) for i in range(300)]
+        failures = [fail_event(float(rng.uniform(0, 720))) for _ in range(30)]
+        res = workload_failure_correlation(
+            jobs, EventLog(failures), bucket_hours=24.0, n_permutations=300, seed=1
+        )
+        assert abs(res.spearman_rho) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            workload_failure_correlation([], EventLog([fail_event(1.0)]))
+        with pytest.raises(AnalysisError):
+            workload_failure_correlation([job(1.0, 0)], EventLog([]))

@@ -1,0 +1,243 @@
+"""CFS parameters, components, scaling, spares, and measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfs import (
+    TABLE5_RANGES,
+    CFSParameters,
+    ClusterModel,
+    StorageModel,
+    abe_parameters,
+    build_client_network_node,
+    build_cluster_node,
+    build_oss_layer_node,
+    build_oss_pair_node,
+    cfs_up_predicate,
+    disk_capacity_tb,
+    petascale_parameters,
+    scale_step,
+    scaling_series,
+    storage_axis_tb,
+)
+from repro.cfs.measures import resolve_slot_path
+from repro.core import ModelError, ParameterError, Simulator, flatten
+from repro.raid import RAID_8P3
+
+
+class TestParameters:
+    def test_abe_preset_matches_paper_hardware(self):
+        p = abe_parameters()
+        assert p.n_disks == 480
+        assert p.raw_storage_tb == pytest.approx(120.0)
+        assert p.usable_storage_tb == pytest.approx(96.0)  # the paper's 96 TB
+        assert p.n_oss_pairs == 9
+        assert p.n_switches == 16
+        assert p.disk_afr == pytest.approx(0.0292, rel=1e-3)
+
+    def test_petascale_preset(self):
+        p = petascale_parameters()
+        assert p.n_disks == 4800
+        assert p.n_ddn_units == 20
+        assert p.n_compute_nodes == 32_000
+        assert p.raw_storage_tb == pytest.approx(12_288.0, rel=0.01)
+
+    def test_validation_catches_out_of_range(self):
+        with pytest.raises(ParameterError):
+            CFSParameters(disk_mtbf_hours=10.0)
+        with pytest.raises(ParameterError):
+            CFSParameters(n_ddn_units=100)
+        with pytest.raises(ParameterError):
+            CFSParameters(oss_hw_propagation_p=1.5)
+        with pytest.raises(ParameterError):
+            CFSParameters(n_spare_oss=-1)
+
+    def test_with_disks_variants(self):
+        p = abe_parameters().with_disks(shape=0.6, afr=0.0876)
+        assert p.disk_weibull_shape == 0.6
+        assert p.disk_afr == pytest.approx(0.0876, rel=1e-6)
+        p2 = abe_parameters().with_disks(raid=RAID_8P3, replacement_hours=12.0)
+        assert p2.raid.label == "8+3"
+        assert p2.raid.disk_replacement_hours == 12.0
+
+    def test_with_spare(self):
+        p = abe_parameters().with_spare_oss(2, swap_hours=1.0)
+        assert p.n_spare_oss == 2
+        assert p.spare_swap_hours == 1.0
+        assert "spare" in p.name
+
+    def test_table5_ranges_cover_presets(self):
+        # both presets must validate (validate() raises otherwise)
+        abe_parameters().validate()
+        petascale_parameters().validate()
+
+    def test_disk_lifetime_law(self):
+        p = abe_parameters()
+        w = p.disk_lifetime
+        assert w.shape == 0.7
+        assert w.mean() == pytest.approx(300_000.0, rel=1e-9)
+
+
+class TestScaling:
+    def test_endpoints(self):
+        abe = scale_step(1, 10)
+        peta = scale_step(10, 10)
+        assert abe.n_disks == 480
+        assert peta.n_disks == 4800
+        assert abe.n_oss_pairs == 9
+        assert peta.n_oss_pairs == 81
+        assert abe.n_compute_nodes == 1200
+        assert peta.n_compute_nodes == 32_000
+        assert peta.raw_storage_tb == pytest.approx(12_288.0, rel=0.01)
+
+    def test_monotone_growth(self):
+        series = list(scaling_series(10))
+        disks = [p.n_disks for p in series]
+        tb = [p.raw_storage_tb for p in series]
+        assert disks == sorted(disks)
+        assert tb == sorted(tb)
+        assert len(set(disks)) == 10
+
+    def test_capacity_growth_33pct(self):
+        assert disk_capacity_tb(1.0) == pytest.approx(0.25 * 1.33)
+        assert disk_capacity_tb(0.0) == pytest.approx(0.25)
+        with pytest.raises(ParameterError):
+            disk_capacity_tb(-1.0)
+
+    def test_storage_axis(self):
+        axis = storage_axis_tb(5)
+        assert len(axis) == 5
+        assert axis[0] == pytest.approx(120.0)
+
+    def test_bad_step(self):
+        with pytest.raises(ParameterError):
+            scale_step(0, 10)
+        with pytest.raises(ParameterError):
+            scale_step(11, 10)
+
+
+class TestComponentStructure:
+    def test_oss_pair_exports(self):
+        node = build_oss_pair_node(abe_parameters())
+        model = flatten(node)
+        assert len(model.match("*/server[*]/up")) == 2
+        assert len(model.match("*pairs_down")) == 1
+        assert len(model.match("*oss_sw_down")) == 1
+
+    def test_oss_layer_counts(self):
+        model = flatten(build_oss_layer_node(abe_parameters()))
+        assert len(model.match("*/server[*]/up")) == 18  # 9 pairs x 2
+        assert len(model.match("*pairs_down")) == 1
+
+    def test_client_network_counts(self):
+        p = abe_parameters()
+        model = flatten(build_client_network_node(p))
+        assert len(model.match("*/switch[*]/sw_up")) == p.n_switches
+        assert len(model.match("*spine_up")) == 1
+
+    def test_cluster_model_structure(self):
+        model = flatten(build_cluster_node(abe_parameters()))
+        assert len(model.match("*/disk[*]/up")) == 480
+        # one each of the global counters
+        for pattern in (
+            "*/tiers_down",
+            "*/ctrl_pairs_down",
+            "*/oss_layer/pairs_down",
+            "*/oss_layer/oss_sw_down",
+            "*/fabric_down",
+        ):
+            assert len(model.match(pattern)) == 1, pattern
+
+    def test_spare_dock_present_only_with_spares(self):
+        m0 = flatten(build_cluster_node(abe_parameters()))
+        assert not m0.match("*covered_pairs")
+        m1 = flatten(build_cluster_node(abe_parameters().with_spare_oss(1)))
+        assert len(m1.match("*/oss_layer/covered_pairs")) == 1
+        assert len(m1.match("*/oss_layer/spare_free")) == 1
+        slot = m1.place_index("cluster/cfs/oss_layer/spare_free")
+        assert m1.initial[slot] == 1
+
+
+class TestMeasures:
+    def test_resolve_slot_path_unique(self):
+        model = flatten(build_cluster_node(abe_parameters()))
+        path = resolve_slot_path(model, "*/fabric_down")
+        assert path.endswith("fabric_down")
+
+    def test_resolve_slot_path_ambiguous(self):
+        model = flatten(build_cluster_node(abe_parameters()))
+        with pytest.raises(ModelError, match="expected exactly one"):
+            resolve_slot_path(model, "*/up")
+
+    def test_cfs_up_initially_true(self):
+        model = flatten(build_cluster_node(abe_parameters()))
+        up = cfs_up_predicate(model)
+        vector = model.new_marking()
+        assert up(model.global_view(vector))
+
+    def test_storage_model_runs(self):
+        sm = StorageModel(abe_parameters(), base_seed=1)
+        res = sm.simulate(hours=2000.0, n_replications=2)
+        assert 0.9 <= res.storage_availability.mean <= 1.0
+        assert res.disks_replaced_per_week.mean >= 0.0
+
+    def test_cluster_summary_format(self):
+        cm = ClusterModel(abe_parameters(), base_seed=1)
+        res = cm.simulate(hours=1000.0, n_replications=2)
+        text = res.summary()
+        assert "cfs_availability" in text
+        assert "cluster_utility" in text
+
+
+class TestClusterBehaviour:
+    def test_abe_availability_anchor(self):
+        """The headline calibration: ABE CFS availability ~ 0.972."""
+        cm = ClusterModel(abe_parameters(), base_seed=2008)
+        res = cm.simulate(hours=8760.0, n_replications=10)
+        est = res.cfs_availability
+        assert abs(est.mean - 0.972) < 0.012
+
+    def test_abe_storage_availability_near_one(self):
+        cm = ClusterModel(abe_parameters(), base_seed=2008)
+        res = cm.simulate(hours=8760.0, n_replications=6)
+        assert res.storage_availability.mean > 0.998
+
+    def test_abe_disk_replacements_zero_to_two_per_week(self):
+        """Paper: 'On average, 0-2 disks are replaced on the ABE cluster
+        per week.'"""
+        cm = ClusterModel(abe_parameters(), base_seed=99)
+        res = cm.simulate(hours=8760.0, n_replications=6)
+        assert 0.0 <= res.disks_replaced_per_week.mean <= 2.0
+
+    def test_cu_below_cfs_availability(self):
+        cm = ClusterModel(abe_parameters(), base_seed=3)
+        res = cm.simulate(hours=8760.0, n_replications=6)
+        assert res.cluster_utility.mean < res.cfs_availability.mean
+
+    def test_spare_oss_improves_availability_at_scale(self):
+        params = scale_step(6, 10)
+        plain = ClusterModel(params, base_seed=4).simulate(
+            hours=8760.0, n_replications=5
+        )
+        spare = ClusterModel(params.with_spare_oss(1), base_seed=4).simulate(
+            hours=8760.0, n_replications=5
+        )
+        assert spare.cfs_availability.mean > plain.cfs_availability.mean
+
+    def test_spare_pool_conserved(self):
+        params = abe_parameters().with_spare_oss(1)
+        cm = ClusterModel(params, base_seed=5)
+        result = cm.simulator.run(8760.0)
+        free = result.place("cluster/cfs/oss_layer/spare_free")
+        covered = result.place("cluster/cfs/oss_layer/covered_pairs")
+        assert free + covered == 1
+
+    def test_availability_decreases_with_scale(self):
+        small = ClusterModel(scale_step(1, 10), base_seed=6).simulate(
+            hours=8760.0, n_replications=6
+        )
+        large = ClusterModel(scale_step(8, 10), base_seed=6).simulate(
+            hours=8760.0, n_replications=6
+        )
+        assert large.cfs_availability.mean < small.cfs_availability.mean

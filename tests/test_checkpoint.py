@@ -1,0 +1,116 @@
+"""Checkpoint/restart analysis (the paper's motivating workload)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cfs import (
+    CheckpointModel,
+    abe_parameters,
+    checkpoint_write_hours,
+    efficiency_at_scale,
+    petascale_parameters,
+    young_interval,
+)
+from repro.core import ParameterError
+
+
+class TestCheckpointModel:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CheckpointModel(mtbf_hours=0.0, checkpoint_hours=1.0)
+        with pytest.raises(ParameterError):
+            CheckpointModel(mtbf_hours=10.0, checkpoint_hours=0.0)
+        with pytest.raises(ParameterError):
+            CheckpointModel(10.0, 1.0, restart_hours=-1.0)
+        with pytest.raises(ParameterError):
+            CheckpointModel(10.0, 1.0).efficiency(0.0)
+
+    def test_efficiency_bounded(self):
+        m = CheckpointModel(mtbf_hours=100.0, checkpoint_hours=0.5)
+        for t in (0.1, 1.0, 10.0, 100.0):
+            assert 0.0 < m.efficiency(t) < 1.0
+
+    def test_small_overhead_limit_near_one(self):
+        m = CheckpointModel(mtbf_hours=1e6, checkpoint_hours=1e-3)
+        assert m.optimal_efficiency() > 0.99
+
+    def test_optimal_interval_matches_young_in_limit(self):
+        m = CheckpointModel(mtbf_hours=10_000.0, checkpoint_hours=0.05)
+        t_opt = m.optimal_interval()
+        assert t_opt == pytest.approx(
+            young_interval(0.05, 10_000.0), rel=0.1
+        )
+
+    def test_optimum_is_interior(self):
+        m = CheckpointModel(mtbf_hours=200.0, checkpoint_hours=0.5)
+        t_opt = m.optimal_interval()
+        e_opt = m.efficiency(t_opt)
+        assert e_opt > m.efficiency(t_opt / 3.0)
+        assert e_opt > m.efficiency(t_opt * 3.0)
+
+    def test_expected_wall_exceeds_work(self):
+        m = CheckpointModel(mtbf_hours=100.0, checkpoint_hours=0.5)
+        assert m.expected_wall_per_segment(2.0) > 2.0
+
+    def test_restart_cost_hurts(self):
+        fast = CheckpointModel(100.0, 0.5, restart_hours=0.0)
+        slow = CheckpointModel(100.0, 0.5, restart_hours=5.0)
+        assert slow.optimal_efficiency() < fast.optimal_efficiency()
+
+    def test_overhead_fraction_complement(self):
+        m = CheckpointModel(100.0, 0.5)
+        assert m.overhead_fraction() == pytest.approx(
+            1.0 - m.optimal_efficiency()
+        )
+
+
+class TestWriteTime:
+    def test_basic_arithmetic(self):
+        # 1000 nodes x 8 GB x 0.5 = 4000 GB at 10 GB/s = 400 s
+        hours = checkpoint_write_hours(1000, 8.0, 0.5, 10.0)
+        assert hours == pytest.approx(400.0 / 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            checkpoint_write_hours(0, 8.0, 0.5, 10.0)
+        with pytest.raises(ParameterError):
+            checkpoint_write_hours(10, 8.0, 1.5, 10.0)
+
+    def test_young_interval_validation(self):
+        with pytest.raises(ParameterError):
+            young_interval(0.0, 10.0)
+
+
+class TestEfficiencyAtScale:
+    def test_petascale_checkpointing_dominates(self):
+        """The motivating claim (Long et al.): at petascale, "more than
+        half the computation time would be spent checkpointing".  With
+        32000 nodes the whole-machine MTBF — compute-node failures
+        included, not just CFS outages — drops to hours."""
+        peta = petascale_parameters()
+        # 32000 nodes at ~5-year node MTBF => system MTBF ~ 1.4 h; be
+        # generous and use 6 h.
+        model = efficiency_at_scale(peta, failure_mtbf_hours=6.0)
+        assert model.checkpoint_hours > 0.5  # >half an hour per checkpoint
+        assert model.optimal_efficiency() < 0.5  # > half the machine lost
+
+    def test_abe_checkpointing_is_cheap(self):
+        abe = abe_parameters()
+        model = efficiency_at_scale(abe, failure_mtbf_hours=400.0)
+        assert model.checkpoint_hours < 0.5
+        assert model.optimal_efficiency() > 0.85
+
+    def test_bandwidth_default_scales_with_ddn(self):
+        abe = efficiency_at_scale(abe_parameters(), 400.0)
+        peta = efficiency_at_scale(petascale_parameters(), 400.0)
+        # petascale has 26.7x the nodes but only 10x the DDN bandwidth
+        assert peta.checkpoint_hours > 2.0 * abe.checkpoint_hours
+
+    def test_explicit_bandwidth_override(self):
+        m = efficiency_at_scale(
+            abe_parameters(), 400.0, io_bandwidth_gb_per_s=1000.0
+        )
+        assert m.checkpoint_hours < 0.01

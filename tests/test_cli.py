@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("tables", "figures", "all", "calibrate", "simulate", "logs"):
+            args = parser.parse_args(
+                [cmd] + (["abe"] if cmd == "simulate" else [])
+                + (["/tmp/x"] if cmd == "logs" else [])
+            )
+            assert args.command == cmd
+
+    def test_simulate_preset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "nope"])
+
+
+class TestCommands:
+    def test_simulate_abe(self, capsys):
+        code = main(
+            ["simulate", "abe", "--replications", "2", "--hours", "1000", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cfs_availability" in out
+        assert "96 TB usable" in out
+
+    def test_simulate_spare_preset(self, capsys):
+        code = main(
+            ["simulate", "petascale-spare", "--replications", "1", "--hours", "500"]
+        )
+        assert code == 0
+        assert "petascale+spare" in capsys.readouterr().out
+
+    def test_logs_command(self, tmp_path, capsys):
+        code = main(["logs", str(tmp_path / "out"), "--seed", "2013"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAN-log lines" in out
+        assert (tmp_path / "out" / "san.log").exists()
+        assert (tmp_path / "out" / "compute.log").exists()
+
+    def test_tables_command(self, capsys):
+        code = main(["tables", "--seed", "2013"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5"):
+            assert marker in out

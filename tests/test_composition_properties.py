@@ -1,0 +1,98 @@
+"""Property-based tests of composition flattening on random trees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SAN, Exponential, Simulator, flatten, join, replicate
+
+
+def make_unit(n_places: int) -> SAN:
+    """A unit with ``n_places`` local places plus a shared counter."""
+    san = SAN("unit")
+    san.place("shared_total", 0)
+    for i in range(n_places):
+        san.place(f"p{i}", 1)
+
+    def effect(m, rng):
+        m["shared_total"] += 1
+
+    san.timed(
+        "tick", Exponential(1.0), enabled=lambda m: m["p0"] == 1, effect=effect
+    )
+    return san
+
+
+tree_shape = st.tuples(
+    st.integers(1, 3),   # places per unit
+    st.integers(1, 4),   # replicas inner
+    st.integers(1, 3),   # replicas outer
+)
+
+
+@given(tree_shape)
+@settings(max_examples=30, deadline=None)
+def test_place_counts_add_up(shape):
+    n_places, n_inner, n_outer = shape
+    unit = make_unit(n_places)
+    inner = replicate("inner", unit, n_inner, shared=["shared_total"])
+    outer = replicate("outer", inner, n_outer, shared=["shared_total"])
+    model = flatten(outer)
+    # locals: n_places per unit instance; shared_total: exactly one slot
+    assert model.n_places == n_places * n_inner * n_outer + 1
+    assert len(model.match("*shared_total")) == 1
+    assert len(model.activities) == n_inner * n_outer
+
+
+@given(tree_shape)
+@settings(max_examples=20, deadline=None)
+def test_all_paths_resolve_and_are_unique(shape):
+    n_places, n_inner, n_outer = shape
+    unit = make_unit(n_places)
+    tree = replicate(
+        "outer",
+        replicate("inner", unit, n_inner, shared=["shared_total"]),
+        n_outer,
+        shared=["shared_total"],
+    )
+    model = flatten(tree)
+    # every recorded path resolves to a valid slot
+    for path, slot in model.paths.items():
+        assert model.place_index(path) == slot
+        assert 0 <= slot < model.n_places
+    # canonical names are themselves resolvable to their slot
+    for slot, cpath in enumerate(model.canonical):
+        assert model.place_index(cpath) == slot
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(0, 500),
+)
+@settings(max_examples=20, deadline=None)
+def test_shared_counter_sums_over_replicas(n_replicas, seed):
+    """After any run, the shared counter equals total ticks (impulses)."""
+    unit = make_unit(1)
+    model = flatten(replicate("fleet", unit, n_replicas, shared=["shared_total"]))
+    sim = Simulator(model, base_seed=seed)
+    from repro.core import ImpulseReward
+
+    res = sim.run(10.0, rewards=[ImpulseReward("ticks", "*/tick")])
+    assert res.place("fleet/shared_total") == res["ticks"].count
+
+
+@given(st.integers(1, 3), st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_join_of_replicates_shares_across_branches(n_a, n_b):
+    unit = make_unit(1)
+    tree = join(
+        "sys",
+        replicate("a", unit, n_a, shared=["shared_total"]),
+        replicate("b", unit, n_b, shared=["shared_total"]),
+        shared=["shared_total"],
+    )
+    model = flatten(tree)
+    slots = {model.place_index(p) for p in model.paths if p.endswith("shared_total")}
+    assert len(slots) == 1
+    assert len(model.activities) == n_a + n_b

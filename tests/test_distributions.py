@@ -1,0 +1,284 @@
+"""Distribution laws: moments, survival functions, conversions, sampling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Deterministic,
+    Empirical,
+    EquilibriumResidual,
+    Erlang,
+    Exponential,
+    Gamma,
+    LogNormal,
+    ModelError,
+    Shifted,
+    Uniform,
+    Weibull,
+    afr_to_mtbf,
+    make_generator,
+    mtbf_to_afr,
+)
+
+RNG = make_generator(7)
+
+
+class TestConversions:
+    def test_afr_mtbf_roundtrip(self):
+        assert afr_to_mtbf(mtbf_to_afr(300_000.0)) == pytest.approx(300_000.0)
+
+    def test_paper_pairing(self):
+        # AFR 2.92% <-> MTBF 300000 h is the exact pairing the paper quotes.
+        assert mtbf_to_afr(300_000.0) == pytest.approx(0.0292, rel=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            afr_to_mtbf(0.0)
+        with pytest.raises(ModelError):
+            mtbf_to_afr(-1.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(0.25).mean() == pytest.approx(4.0)
+
+    def test_survival(self):
+        d = Exponential(0.5)
+        assert d.survival(0.0) == 1.0
+        assert d.survival(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_per_period(self):
+        d = Exponential.per_period(1.5, 720.0)
+        assert d.rate == pytest.approx(1.5 / 720.0)
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(20.0).rate == pytest.approx(0.05)
+
+    def test_is_exponential_flag(self):
+        assert Exponential(1.0).is_exponential
+        assert not Weibull(0.7, 100.0).is_exponential
+        assert not Deterministic(1.0).is_exponential
+
+    def test_sample_mean_matches(self):
+        d = Exponential(0.1)
+        xs = d.sample_many(make_generator(1), 20_000)
+        assert xs.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ModelError):
+            Exponential(0.0)
+
+
+class TestWeibull:
+    def test_from_mtbf_mean(self):
+        w = Weibull.from_mtbf(0.7, 300_000.0)
+        assert w.mean() == pytest.approx(300_000.0, rel=1e-9)
+
+    def test_from_afr(self):
+        w = Weibull.from_afr(0.7, 0.0292)
+        assert w.afr == pytest.approx(0.0292, rel=1e-9)
+        assert w.mtbf == pytest.approx(300_000.0, rel=1e-3)
+
+    def test_shape_one_is_exponential_law(self):
+        w = Weibull(1.0, 100.0)
+        assert w.survival(50.0) == pytest.approx(math.exp(-0.5))
+
+    def test_decreasing_hazard_for_shape_below_one(self):
+        w = Weibull.from_mtbf(0.7, 1000.0)
+        assert w.hazard(1.0) > w.hazard(10.0) > w.hazard(100.0)
+
+    def test_hazard_at_zero_limits(self):
+        assert Weibull(0.7, 100.0).hazard(0.0) == math.inf
+        assert Weibull(2.0, 100.0).hazard(0.0) == 0.0
+        assert Weibull(1.0, 100.0).hazard(0.0) == pytest.approx(0.01)
+
+    def test_residual_sample_exceeds_zero(self):
+        w = Weibull.from_mtbf(0.7, 1000.0)
+        samples = [w.residual_sample(500.0, make_generator(i)) for i in range(50)]
+        assert all(s >= 0.0 for s in samples)
+
+    def test_residual_age_zero_equals_plain_sampling_law(self):
+        w = Weibull.from_mtbf(0.7, 1000.0)
+        xs = np.array([w.residual_sample(0.0, make_generator(i)) for i in range(2000)])
+        assert xs.mean() == pytest.approx(1000.0, rel=0.15)
+
+    def test_sample_mean(self):
+        w = Weibull.from_mtbf(0.7, 300.0)
+        xs = w.sample_many(make_generator(2), 40_000)
+        assert xs.mean() == pytest.approx(300.0, rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ModelError):
+            Weibull(1.0, 0.0)
+
+
+class TestDeterministic:
+    def test_sample_is_constant(self):
+        d = Deterministic(4.0)
+        assert d.sample(RNG) == 4.0
+        assert d.mean() == 4.0
+
+    def test_survival_step(self):
+        d = Deterministic(4.0)
+        assert d.survival(3.9) == 1.0
+        assert d.survival(4.0) == 0.0
+
+    def test_zero_allowed(self):
+        assert Deterministic(0.0).sample(RNG) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            Deterministic(-1.0)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(12.0, 36.0).mean() == pytest.approx(24.0)
+
+    def test_bounds(self):
+        d = Uniform(2.0, 6.0)
+        xs = d.sample_many(make_generator(3), 1000)
+        assert xs.min() >= 2.0 and xs.max() <= 6.0
+
+    def test_survival(self):
+        d = Uniform(10.0, 20.0)
+        assert d.survival(5.0) == 1.0
+        assert d.survival(15.0) == pytest.approx(0.5)
+        assert d.survival(25.0) == 0.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ModelError):
+            Uniform(5.0, 2.0)
+
+
+class TestLogNormal:
+    def test_from_mean_cv(self):
+        d = LogNormal.from_mean_cv(100.0, 0.5)
+        assert d.mean() == pytest.approx(100.0)
+
+    def test_sample_mean(self):
+        d = LogNormal.from_mean_cv(10.0, 1.0)
+        xs = d.sample_many(make_generator(4), 50_000)
+        assert xs.mean() == pytest.approx(10.0, rel=0.07)
+
+    def test_survival_median(self):
+        d = LogNormal(math.log(10.0), 0.8)
+        assert d.survival(10.0) == pytest.approx(0.5, abs=1e-9)
+
+
+class TestGammaErlang:
+    def test_gamma_mean(self):
+        assert Gamma(3.0, 2.0).mean() == pytest.approx(6.0)
+
+    def test_erlang_is_gamma(self):
+        e = Erlang(3, 0.5)
+        assert e.mean() == pytest.approx(6.0)
+        assert e.stages == 3
+
+    def test_erlang_survival_vs_sum_of_exponentials(self):
+        e = Erlang(2, 1.0)
+        # P(X > t) = e^-t (1 + t) for a 2-stage Erlang of rate 1.
+        assert e.survival(1.5) == pytest.approx(math.exp(-1.5) * 2.5, rel=1e-6)
+
+    def test_erlang_rejects_fractional_stages(self):
+        with pytest.raises(ModelError):
+            Erlang(0, 1.0)
+
+
+class TestEmpiricalShifted:
+    def test_empirical_resamples_observed(self):
+        d = Empirical([1.0, 2.0, 3.0])
+        xs = {d.sample(make_generator(i)) for i in range(50)}
+        assert xs <= {1.0, 2.0, 3.0}
+        assert d.mean() == pytest.approx(2.0)
+
+    def test_empirical_survival(self):
+        d = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert d.survival(2.5) == pytest.approx(0.5)
+
+    def test_empirical_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Empirical([])
+
+    def test_shifted(self):
+        d = Shifted(5.0, Exponential(1.0))
+        assert d.mean() == pytest.approx(6.0)
+        assert d.survival(4.0) == 1.0
+        assert all(d.sample(make_generator(i)) >= 5.0 for i in range(20))
+
+
+class TestEquilibriumResidual:
+    def test_exponential_is_its_own_equilibrium(self):
+        eq = EquilibriumResidual(Exponential(0.1))
+        assert eq.mean() == pytest.approx(10.0)
+        xs = np.array([eq.sample(make_generator(i)) for i in range(3000)])
+        assert xs.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_deterministic_equilibrium_is_uniform(self):
+        eq = EquilibriumResidual(Deterministic(10.0))
+        assert eq.mean() == pytest.approx(5.0)
+        assert eq.cdf(5.0) == pytest.approx(0.5)
+
+    def test_weibull_mean_formula(self):
+        # E[residual] = E[X^2] / (2 E[X]) with E[X^2] = eta^2 Gamma(1+2/beta).
+        w = Weibull.from_mtbf(0.7, 1000.0)
+        eq = EquilibriumResidual(w)
+        from scipy.special import gamma as G
+
+        expected = (w.scale**2 * G(1 + 2 / 0.7)) / (2 * 1000.0)
+        assert eq.mean() == pytest.approx(expected, rel=1e-9)
+
+    def test_table_matches_exact_inversion(self):
+        eq = EquilibriumResidual(Weibull.from_mtbf(0.7, 1000.0))
+        for i in range(40):
+            a = eq.sample(make_generator(900 + i))
+            b = eq.sample_exact(make_generator(900 + i))
+            assert a == pytest.approx(b, rel=1e-4, abs=1e-6)
+
+    def test_sample_mean_matches_analytic(self):
+        eq = EquilibriumResidual(Weibull.from_mtbf(0.7, 1000.0))
+        xs = np.array([eq.sample(make_generator(i)) for i in range(4000)])
+        assert xs.mean() == pytest.approx(eq.mean(), rel=0.1)
+
+    def test_survival_monotone(self):
+        eq = EquilibriumResidual(Weibull.from_mtbf(0.7, 100.0))
+        values = [eq.survival(t) for t in (0.0, 1.0, 10.0, 100.0, 1000.0)]
+        assert values == sorted(values, reverse=True)
+
+
+@given(
+    shape=st.floats(0.5, 3.0),
+    mtbf=st.floats(10.0, 1e6),
+)
+@settings(max_examples=50, deadline=None)
+def test_weibull_from_mtbf_mean_property(shape: float, mtbf: float):
+    """from_mtbf must invert the mean for any (shape, mtbf)."""
+    w = Weibull.from_mtbf(shape, mtbf)
+    assert w.mean() == pytest.approx(mtbf, rel=1e-9)
+
+
+@given(rate=st.floats(1e-6, 1e3), t=st.floats(0.0, 1e4))
+@settings(max_examples=50, deadline=None)
+def test_exponential_survival_bounds_property(rate: float, t: float):
+    s = Exponential(rate).survival(t)
+    assert 0.0 <= s <= 1.0
+
+
+@given(
+    low=st.floats(0.0, 100.0),
+    width=st.floats(0.001, 100.0),
+    q=st.floats(0.0, 1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_uniform_survival_is_linear_property(low, width, q):
+    d = Uniform(low, low + width)
+    t = low + q * width
+    assert d.survival(t) == pytest.approx(1.0 - q, abs=1e-9)

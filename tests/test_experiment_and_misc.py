@@ -1,0 +1,175 @@
+"""Experiment layer (estimates, replication), RNG streams, path globs."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Estimate,
+    ImpulseReward,
+    RateReward,
+    SeedTree,
+    SimulationError,
+    Simulator,
+    derive_seed,
+    flatten,
+    make_generator,
+    replicate_runs,
+)
+from repro.core.patterns import compile_pattern, path_match
+
+from conftest import build_two_state_san
+
+
+class TestEstimate:
+    def test_from_samples_basic(self):
+        est = Estimate.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert est.mean == pytest.approx(2.5)
+        assert est.n == 4
+        assert est.lo < 2.5 < est.hi
+
+    def test_single_sample_infinite_halfwidth(self):
+        est = Estimate.from_samples([2.0])
+        assert math.isinf(est.half_width)
+        assert "n=1" in str(est)
+
+    def test_identical_samples_zero_halfwidth(self):
+        est = Estimate.from_samples([3.0, 3.0, 3.0])
+        assert est.half_width == 0.0
+
+    def test_contains(self):
+        est = Estimate.from_samples([1.0, 2.0, 3.0])
+        assert est.contains(2.0)
+        assert not est.contains(100.0)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(SimulationError):
+            Estimate.from_samples([])
+
+    def test_coverage_of_known_mean(self):
+        # ~95% of intervals should contain the true mean; check loosely.
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            est = Estimate.from_samples(rng.normal(5.0, 1.0, size=12))
+            hits += est.contains(5.0)
+        assert hits / trials > 0.85
+
+    def test_str_format(self):
+        est = Estimate.from_samples([1.0, 2.0, 3.0])
+        assert "95% CI" in str(est)
+
+
+class TestReplicateRuns:
+    def test_replications_independent_and_summarized(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=1)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        res = replicate_runs(sim, 5_000.0, n_replications=5, rewards=[rw])
+        assert res.n_replications == 5
+        assert len(set(res.samples("a"))) == 5  # independent streams
+
+    def test_impulse_metrics_included(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=2)
+        imp = ImpulseReward("f", "comp/fail")
+        res = replicate_runs(sim, 5_000.0, n_replications=3, rewards=[imp])
+        assert "f" in res.metrics and "f.per_hour" in res.metrics
+
+    def test_extra_metrics(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=3)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        res = replicate_runs(
+            sim,
+            5_000.0,
+            n_replications=3,
+            rewards=[rw],
+            extra_metrics={"u": lambda r: 1.0 - r["a"].time_average},
+        )
+        assert res.estimate("u").mean == pytest.approx(
+            1.0 - res.estimate("a").mean
+        )
+
+    def test_extra_metric_shadowing_rejected(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=4)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        with pytest.raises(SimulationError, match="shadow"):
+            replicate_runs(
+                sim, 100.0, n_replications=2, rewards=[rw],
+                extra_metrics={"a": lambda r: 0.0},
+            )
+
+    def test_on_result_callback(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=5)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        seen = []
+        replicate_runs(
+            sim, 100.0, n_replications=3, rewards=[rw],
+            on_result=lambda k, r: seen.append(k),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_unknown_metric_lookup(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=6)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        res = replicate_runs(sim, 100.0, n_replications=2, rewards=[rw])
+        with pytest.raises(KeyError):
+            res.samples("nope")
+
+    def test_no_metrics_rejected(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=7)
+        with pytest.raises(SimulationError, match="no metrics"):
+            replicate_runs(sim, 100.0, n_replications=2)
+
+
+class TestSeedTree:
+    def test_same_path_same_stream(self):
+        a = SeedTree(42).child("rep", 3).generator().uniform()
+        b = SeedTree(42).child("rep", 3).generator().uniform()
+        assert a == b
+
+    def test_sibling_streams_differ(self):
+        a = SeedTree(42).child("rep", 0).generator().uniform()
+        b = SeedTree(42).child("rep", 1).generator().uniform()
+        assert a != b
+
+    def test_string_keys_stable(self):
+        a = derive_seed(1, "alpha").generate_state(2)
+        b = derive_seed(1, "alpha").generate_state(2)
+        assert (a == b).all()
+
+    def test_children_iterator(self):
+        kids = list(SeedTree(7).children("rep", 3))
+        assert len(kids) == 3
+        assert kids[0].path == ("rep", 0)
+
+    def test_make_generator_independent_paths(self):
+        x = make_generator(5, "a").uniform()
+        y = make_generator(5, "b").uniform()
+        assert x != y
+
+
+class TestPathGlobs:
+    def test_brackets_are_literal(self):
+        assert path_match("tier[3]/disk[7]/fail", "tier[*]/disk[*]/fail")
+        assert not path_match("tier3/disk7/fail", "tier[*]/disk[*]/fail")
+
+    def test_star_crosses_slashes(self):
+        assert path_match("a/b/c/d", "a/*/d")
+
+    def test_question_mark(self):
+        assert path_match("ab", "a?")
+        assert not path_match("abc", "a?")
+
+    def test_anchored(self):
+        assert not path_match("xab", "ab")
+        assert not path_match("abx", "ab")
+
+    def test_compile_cached(self):
+        assert compile_pattern("a*") is compile_pattern("a*")
+
+    def test_regex_specials_escaped(self):
+        assert path_match("a.b", "a.b")
+        assert not path_match("axb", "a.b")

@@ -1,0 +1,103 @@
+"""End-to-end integration: model → simulate → logs → analysis → recovery.
+
+The full production path a user of this library follows, exercised as one
+pipeline with cross-checks at every hand-off.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.analysis import (
+    availability_from_outages,
+    detect_storms,
+    fit_exponential_censored,
+    fit_weibull_censored,
+    job_statistics,
+    jobs_from_events,
+    pair_outages,
+    parse_file,
+)
+from repro.cfs import ClusterModel, abe_parameters
+from repro.core import Weibull, make_generator
+from repro.loggen import disk_survival_dataset, generate_abe_logs, write_log
+
+
+@pytest.fixture(scope="module")
+def logs():
+    return generate_abe_logs(seed=2013)
+
+
+class TestFullPipeline:
+    def test_serialize_parse_analyze(self, logs, tmp_path):
+        """Write both logs to disk, re-parse, and recover the statistics."""
+        san_path = tmp_path / "san.log"
+        compute_path = tmp_path / "compute.log"
+        write_log(logs.san_log.events, str(san_path))
+        write_log(logs.compute_log.events, str(compute_path))
+
+        san = parse_file(san_path).log
+        compute = parse_file(compute_path).log
+
+        # 1) availability from the re-parsed SAN log
+        w = logs.windows
+        outages = pair_outages(san.component("san"), window_end=w.san_end)
+        a = availability_from_outages(outages, w.epoch, w.san_end)
+        assert a == pytest.approx(logs.ground_truth.cfs_availability, abs=0.005)
+
+        # 2) job statistics from the re-parsed compute log
+        jobs = jobs_from_events(compute)
+        stats = job_statistics(jobs)
+        direct = job_statistics(logs.jobs)
+        assert stats.total == direct.total
+        assert stats.failed_transient == direct.failed_transient
+        assert stats.failed_other == direct.failed_other
+
+    def test_storm_detection_finds_spine_events(self, logs):
+        mount_log = logs.compute_log.types("mount_failure")
+        if len(mount_log) == 0:
+            pytest.skip("no mount failures this seed")
+        storms = detect_storms(mount_log, gap_hours=0.5, min_sources=30)
+        # ground truth had spine transients; most observed spine events
+        # produce wide storms
+        assert len(storms) >= 1
+
+    def test_transient_rate_recovery(self, logs):
+        """Transient-kill fraction implies the per-path rate within 2x."""
+        stats = job_statistics(logs.jobs)
+        p_kill = stats.failed_transient / stats.total
+        import math
+
+        params = abe_parameters()
+        lam_implied = -math.log(1 - p_kill) / params.job_mean_duration_hours
+        lam_model = (
+            params.switch_transient_per_720h + params.spine_transient_per_720h
+        ) / 720.0
+        assert lam_implied == pytest.approx(lam_model, rel=0.6)
+
+    def test_disk_survival_estimation_pipeline(self):
+        """Fleet data generated under a known law is recovered by both the
+        Weibull MLE (shape) and the exponential fit (scale/MTBF order)."""
+        law = Weibull.from_mtbf(0.7, 20_000.0)
+        data = disk_survival_dataset(400, law, 30_000.0, make_generator(42))
+        wfit = fit_weibull_censored(data.durations, data.observed)
+        assert wfit.shape == pytest.approx(0.7, abs=0.12)
+        efit = fit_exponential_censored(data.durations, data.observed)
+        assert efit.mtbf_hours == pytest.approx(20_000.0, rel=0.4)
+
+    def test_simulation_measure_vs_trace_consistency(self):
+        """The reward-based availability and the trace-based availability of
+        the same run must agree exactly."""
+        cm = ClusterModel(abe_parameters(), base_seed=77)
+        from repro.core import BinaryTrace, RateReward
+        from repro.cfs import cfs_up_predicate
+
+        up = cfs_up_predicate(cm.model)
+        rw = RateReward("a", lambda m: 1.0 if up(m) else 0.0)
+        tr = BinaryTrace("up", up)
+        res = cm.simulator.run(4000.0, rewards=[rw], traces=[tr])
+        assert res.trace("up").availability() == pytest.approx(
+            res["a"].time_average, abs=1e-12
+        )

@@ -1,0 +1,125 @@
+"""Reward-measure wiring, CU derivation, and log-window plumbing."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.cfs import (
+    ClusterModel,
+    abe_parameters,
+    cluster_utility_from_run,
+)
+from repro.cfs.measures import HOURS_PER_WEEK, build_measures
+from repro.core import BinaryTrace, ModelError
+from repro.loggen import AbeLogWindows
+
+
+class TestMeasureWiring:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ClusterModel(abe_parameters(), base_seed=41)
+
+    def test_measure_set_complete(self, model):
+        names = {r.name for r in model.measures.rewards}
+        assert names == {
+            "storage_availability",
+            "cfs_availability",
+            "perceived_availability",
+            "disks_replaced",
+        }
+        assert set(model.measures.extra_metrics) == {
+            "cluster_utility",
+            "disks_replaced_per_week",
+            "cfs_outage_onsets_per_year",
+        }
+
+    def test_traces_factory_fresh_instances(self, model):
+        t1 = model.measures.traces_factory()
+        t2 = model.measures.traces_factory()
+        assert t1[0] is not t2[0]
+        assert t1[0].name == "cfs_up"
+
+    def test_perceived_never_exceeds_cfs(self, model):
+        res = model.simulate(hours=4000.0, n_replications=3)
+        assert (
+            res.estimate("perceived_availability").mean
+            <= res.estimate("cfs_availability").mean + 1e-9
+        )
+
+    def test_disks_replaced_per_week_consistent(self, model):
+        res = model.simulate(hours=4000.0, n_replications=3)
+        per_hour_sum = res.experiment.estimate("disks_replaced").mean
+        per_week = res.estimate("disks_replaced_per_week").mean
+        assert per_week == pytest.approx(
+            per_hour_sum / 4000.0 * HOURS_PER_WEEK, rel=1e-9
+        )
+
+
+class TestClusterUtilityDerivation:
+    def test_requires_binary_trace(self):
+        model = ClusterModel(abe_parameters(), base_seed=42)
+        result = model.simulator.run(
+            500.0,
+            rewards=model.measures.rewards,
+            traces=[],
+        )
+        with pytest.raises(KeyError):
+            cluster_utility_from_run(result, abe_parameters())
+
+    def test_cu_below_perceived(self):
+        model = ClusterModel(abe_parameters(), base_seed=43)
+        result = model.simulator.run(
+            8760.0,
+            rewards=model.measures.rewards,
+            traces=model.measures.traces_factory(),
+        )
+        cu = cluster_utility_from_run(result, abe_parameters())
+        perceived = result["perceived_availability"].time_average
+        assert 0.0 < cu < perceived
+
+    def test_cu_decreases_with_longer_jobs(self):
+        model = ClusterModel(abe_parameters(), base_seed=44)
+        result = model.simulator.run(
+            8760.0,
+            rewards=model.measures.rewards,
+            traces=model.measures.traces_factory(),
+        )
+        import dataclasses
+
+        short = dataclasses.replace(abe_parameters(), job_mean_duration_hours=1.0)
+        long = dataclasses.replace(abe_parameters(), job_mean_duration_hours=12.0)
+        assert cluster_utility_from_run(result, long) < cluster_utility_from_run(
+            result, short
+        )
+
+
+class TestAbeLogWindows:
+    def test_defaults_match_paper_dates(self):
+        w = AbeLogWindows()
+        assert w.epoch == datetime(2007, 5, 3)
+        assert w.san_end == datetime(2007, 11, 30)
+        assert w.hours(datetime(2007, 5, 4)) == pytest.approx(24.0)
+
+    def test_custom_windows(self):
+        w = AbeLogWindows(
+            epoch=datetime(2020, 1, 1),
+            compute_end=datetime(2020, 2, 1),
+            san_start=datetime(2020, 1, 15),
+            san_end=datetime(2020, 3, 1),
+        )
+        assert w.horizon_hours == pytest.approx(60 * 24.0)
+
+    def test_shorter_window_generates_faster_logs(self):
+        from repro.loggen import generate_abe_logs
+
+        w = AbeLogWindows(
+            epoch=datetime(2007, 5, 3),
+            compute_end=datetime(2007, 5, 20),
+            san_start=datetime(2007, 5, 10),
+            san_end=datetime(2007, 6, 3),
+        )
+        logs = generate_abe_logs(seed=3, windows=w)
+        assert logs.windows.horizon_hours == pytest.approx(31 * 24.0)
+        assert len(logs.jobs) < 8000

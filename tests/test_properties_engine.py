@@ -1,0 +1,166 @@
+"""Property-based tests of the simulation engine on random models.
+
+Hypothesis generates small random repairable-fleet models; the engine must
+uphold structural invariants regardless of topology, rates and seeds:
+
+* markings stay non-negative (the views enforce it — these tests verify no
+  code path bypasses them);
+* simulated time advances monotonically (checked via trace transitions);
+* conservation: shared counters equal the sum of member states;
+* rate rewards of indicator functions stay within [0, 1];
+* reproducibility: identical seeds yield identical trajectories.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SAN,
+    BinaryTrace,
+    Exponential,
+    ImpulseReward,
+    RateReward,
+    Simulator,
+    Uniform,
+    flatten,
+    join,
+    replicate,
+)
+
+
+def build_fleet(n_units: int, fail_rate: float, repair_mean: float, threshold: int):
+    unit = SAN("unit")
+    unit.place("up", 1)
+    unit.place("down_count", 0)
+    unit.timed(
+        "fail",
+        Exponential(fail_rate),
+        enabled=lambda m: m["up"] == 1,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 0),
+            m.__setitem__("down_count", m["down_count"] + 1),
+        ),
+    )
+    unit.timed(
+        "repair",
+        Uniform(0.5 * repair_mean, 1.5 * repair_mean),
+        enabled=lambda m: m["up"] == 0,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 1),
+            m.__setitem__("down_count", m["down_count"] - 1),
+        ),
+    )
+    watch = SAN("watch")
+    watch.place("down_count", 0)
+    watch.place("alarm", 0)
+    watch.instant(
+        "raise",
+        enabled=lambda m: m["down_count"] >= threshold and m["alarm"] == 0,
+        effect=lambda m, rng: m.__setitem__("alarm", 1),
+    )
+    watch.instant(
+        "clear",
+        enabled=lambda m: m["down_count"] < threshold and m["alarm"] == 1,
+        effect=lambda m, rng: m.__setitem__("alarm", 0),
+    )
+    tree = join(
+        "sys",
+        replicate("units", unit, n_units, shared=["down_count"]),
+        watch,
+        shared=["down_count"],
+    )
+    return flatten(tree)
+
+
+fleet_params = st.tuples(
+    st.integers(2, 6),               # units
+    st.floats(0.01, 0.5),            # fail rate
+    st.floats(0.5, 10.0),            # repair mean
+    st.integers(1, 3),               # alarm threshold
+    st.integers(0, 10_000),          # seed
+)
+
+
+@given(fleet_params)
+@settings(max_examples=25, deadline=None)
+def test_conservation_and_bounds(params):
+    n_units, fail_rate, repair_mean, threshold, seed = params
+    model = build_fleet(n_units, fail_rate, repair_mean, threshold)
+    sim = Simulator(model, base_seed=seed)
+    rw = RateReward(
+        "frac_down", lambda m: m["sys/down_count"] / float(n_units)
+    )
+    res = sim.run(200.0, rewards=[rw])
+
+    # conservation: counter equals number of down units in the final state
+    down_units = sum(
+        res.place(f"sys/units/unit[{i}]/up") == 0 for i in range(n_units)
+    )
+    assert res.place("sys/down_count") == down_units
+    # indicator-style reward bounded
+    assert 0.0 <= res["frac_down"].time_average <= 1.0
+    # alarm consistent with the threshold in the final marking
+    assert res.place("sys/watch/alarm") == int(down_units >= threshold)
+
+
+@given(fleet_params)
+@settings(max_examples=15, deadline=None)
+def test_trace_time_monotone_and_alternating(params):
+    n_units, fail_rate, repair_mean, threshold, seed = params
+    model = build_fleet(n_units, fail_rate, repair_mean, threshold)
+    sim = Simulator(model, base_seed=seed)
+    tr = BinaryTrace("alarm", lambda m: m["sys/watch/alarm"] == 1)
+    res = sim.run(200.0, traces=[tr])
+    transitions = res.trace("alarm").transitions
+    times = [t for t, _v in transitions]
+    assert times == sorted(times)
+    values = [v for _t, v in transitions]
+    assert all(a != b for a, b in zip(values, values[1:]))
+
+
+@given(fleet_params)
+@settings(max_examples=10, deadline=None)
+def test_reproducibility(params):
+    n_units, fail_rate, repair_mean, threshold, seed = params
+    model = build_fleet(n_units, fail_rate, repair_mean, threshold)
+    imp = ImpulseReward("fails", "*/fail")
+    r1 = Simulator(model, base_seed=seed).run(100.0, rewards=[imp])
+    r2 = Simulator(model, base_seed=seed).run(100.0, rewards=[imp])
+    assert r1["fails"].count == r2["fails"].count
+    assert r1.n_events == r2.n_events
+    assert r1._final_values == r2._final_values
+
+
+@given(
+    st.integers(2, 5),
+    st.floats(0.05, 0.5),
+    st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_impulse_counts_match_place_counters(n_units, rate, seed):
+    """Impulse reward on 'fail' must equal total down_count increments."""
+    unit = SAN("unit")
+    unit.place("up", 1)
+    unit.place("fails_total", 0)
+    unit.timed(
+        "fail",
+        Exponential(rate),
+        enabled=lambda m: m["up"] == 1,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 0),
+            m.__setitem__("fails_total", m["fails_total"] + 1),
+        ),
+    )
+    unit.timed(
+        "repair",
+        Exponential(1.0),
+        enabled=lambda m: m["up"] == 0,
+        effect=lambda m, rng: m.__setitem__("up", 1),
+    )
+    model = flatten(replicate("sys", unit, n_units, shared=["fails_total"]))
+    sim = Simulator(model, base_seed=seed)
+    imp = ImpulseReward("f", "*/fail")
+    res = sim.run(300.0, rewards=[imp])
+    assert res["f"].count == res.place("sys/fails_total")

@@ -1,0 +1,289 @@
+"""RAID submodels: disk, tier, controller pair, DDN unit — sim vs Markov."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Exponential,
+    ImpulseReward,
+    ModelError,
+    ParameterError,
+    RateReward,
+    Simulator,
+    Uniform,
+    Weibull,
+    flatten,
+    replicate_runs,
+)
+from repro.markov import RAIDTierMarkov, failover_pair_unavailability, raid_mttdl_approximation
+from repro.raid import (
+    RAID5_8P1,
+    RAID6_8P2,
+    RAID_8P3,
+    DDNUnitSpec,
+    RAIDConfig,
+    build_ddn_fleet_node,
+    build_ddn_unit_node,
+    build_disk_san,
+    build_failover_pair_node,
+    build_tier_node,
+)
+
+
+class TestRAIDConfig:
+    def test_geometry(self):
+        assert RAID6_8P2.tier_size == 10
+        assert RAID6_8P2.fault_tolerance == 2
+        assert RAID6_8P2.label == "8+2"
+        assert RAID_8P3.tier_size == 11
+        assert RAID5_8P1.fault_tolerance == 1
+
+    def test_with_replacement_hours(self):
+        c = RAID6_8P2.with_replacement_hours(12.0)
+        assert c.disk_replacement_hours == 12.0
+        assert RAID6_8P2.disk_replacement_hours == 4.0  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RAIDConfig(data_disks=0)
+        with pytest.raises(ParameterError):
+            RAIDConfig(parity_disks=0)
+        with pytest.raises(ParameterError):
+            RAIDConfig(disk_replacement_hours=0.0)
+
+
+class TestDiskSAN:
+    def test_single_disk_availability(self):
+        # MTBF/(MTBF+MTTR) regardless of the Weibull shape.
+        lifetime = Weibull.from_mtbf(0.7, 1000.0)
+        model = flatten(build_disk_san(lifetime, replacement_hours=50.0))
+        sim = Simulator(model, base_seed=1)
+        rw = RateReward("a", lambda m: float(m["disk/up"]))
+        res = replicate_runs(sim, 100_000.0, n_replications=8, rewards=[rw])
+        assert res.estimate("a").mean == pytest.approx(1000.0 / 1050.0, abs=0.01)
+
+    def test_replacement_counter(self):
+        lifetime = Weibull.from_mtbf(1.0, 100.0)
+        model = flatten(build_disk_san(lifetime, replacement_hours=1.0))
+        sim = Simulator(model, base_seed=2)
+        imp = ImpulseReward("r", "disk/replace")
+        res = replicate_runs(sim, 60_000.0, n_replications=8, rewards=[imp])
+        # renewal rate ~ 1/101 per hour
+        assert res.estimate("r.per_hour").mean == pytest.approx(1 / 101.0, rel=0.05)
+
+    def test_fresh_flag_set_after_first_replacement(self):
+        lifetime = Weibull.from_mtbf(0.7, 10.0)
+        model = flatten(build_disk_san(lifetime, replacement_hours=0.5))
+        sim = Simulator(model, base_seed=3)
+        res = sim.run(1000.0)
+        assert res.place("disk/fresh") == 1
+
+    def test_propagation_probability_validated(self):
+        with pytest.raises(ModelError):
+            build_disk_san(Weibull.from_mtbf(0.7, 10.0), 1.0, propagation_p=1.5)
+
+
+class TestTier:
+    def test_exponential_regime_matches_markov(self):
+        # High failure rate so the data-loss state is actually visited.
+        lifetime = Weibull.from_mtbf(1.0, 200.0)  # shape 1 == exponential
+        cfg = RAIDConfig(3, 2, disk_replacement_hours=20.0, tier_restore_hours=30.0)
+        model = flatten(build_tier_node(cfg, lifetime, equilibrium_start=False))
+        sim = Simulator(model, base_seed=4)
+        rw = RateReward("down", lambda m: 1.0 if m["tier/tiers_down"] > 0 else 0.0)
+        res = replicate_runs(sim, 100_000.0, n_replications=10, rewards=[rw])
+        est = res.estimate("down")
+        # Markov approximation: deterministic repairs ~ exponential with same
+        # means.  Agreement should be within a modest relative band.
+        mk = RAIDTierMarkov(5, 2, 1 / 200.0, 1 / 20.0, 1 / 30.0)
+        expected = 1.0 - mk.availability()
+        assert est.mean == pytest.approx(expected, rel=0.35)
+
+    def test_data_loss_requires_ft_plus_one(self):
+        lifetime = Weibull.from_mtbf(1.0, 1e9)  # disks essentially never fail
+        cfg = RAIDConfig(8, 2)
+        model = flatten(build_tier_node(cfg, lifetime, equilibrium_start=False))
+        sim = Simulator(model, base_seed=5)
+        res = sim.run(10_000.0)
+        assert res.place("tier/tiers_down") == 0
+        assert res.place("tier/data_loss_total") == 0
+
+    def test_propagation_creates_data_loss(self):
+        # With p=1 every failure cascades through the whole tier.
+        lifetime = Weibull.from_mtbf(1.0, 5_000.0)
+        cfg = RAIDConfig(8, 2, disk_replacement_hours=4.0)
+        model = flatten(
+            build_tier_node(cfg, lifetime, propagation_p=1.0, equilibrium_start=False)
+        )
+        sim = Simulator(model, base_seed=6)
+        res = sim.run(20_000.0)
+        assert res.place("tier/data_loss_total") >= 1
+
+    def test_no_propagation_no_loss_at_low_rates(self):
+        lifetime = Weibull.from_mtbf(0.7, 300_000.0)
+        model = flatten(
+            build_tier_node(RAID6_8P2, lifetime, propagation_p=0.0)
+        )
+        sim = Simulator(model, base_seed=7)
+        res = sim.run(8760.0)
+        assert res.place("tier/data_loss_total") == 0
+
+    def test_replacement_counting_scales_with_tier(self):
+        lifetime = Weibull.from_mtbf(1.0, 1000.0)
+        model = flatten(build_tier_node(RAID6_8P2, lifetime, equilibrium_start=False))
+        sim = Simulator(model, base_seed=8)
+        imp = ImpulseReward("r", "*/replace")
+        res = replicate_runs(sim, 20_000.0, n_replications=4, rewards=[imp])
+        assert res.estimate("r.per_hour").mean == pytest.approx(
+            10.0 / 1004.0, rel=0.1
+        )
+
+
+class TestFailoverPair:
+    def test_matches_markov_with_propagation(self):
+        lam, mu, p = 1 / 200.0, 1 / 20.0, 0.1
+        node = build_failover_pair_node(Exponential(lam), Exponential(mu), p)
+        sim = Simulator(flatten(node), base_seed=9)
+        rw = RateReward("u", lambda m: 1.0 if m["pair/pairs_down"] > 0 else 0.0)
+        res = replicate_runs(sim, 100_000.0, n_replications=10, rewards=[rw])
+        expected = failover_pair_unavailability(lam, mu, p)
+        est = res.estimate("u")
+        assert abs(est.mean - expected) < max(4 * est.half_width, 0.15 * expected)
+
+    def test_no_propagation_matches_markov(self):
+        lam, mu = 1 / 100.0, 1 / 10.0
+        node = build_failover_pair_node(Exponential(lam), Exponential(mu), 0.0)
+        sim = Simulator(flatten(node), base_seed=10)
+        rw = RateReward("u", lambda m: 1.0 if m["pair/pairs_down"] > 0 else 0.0)
+        res = replicate_runs(sim, 100_000.0, n_replications=10, rewards=[rw])
+        expected = failover_pair_unavailability(lam, mu, 0.0)
+        est = res.estimate("u")
+        assert abs(est.mean - expected) < max(4 * est.half_width, 0.15 * expected)
+
+    def test_propagation_increases_outages(self):
+        lam, mu = 1 / 500.0, 1 / 24.0
+        counts = {}
+        for p in (0.0, 0.5):
+            node = build_failover_pair_node(Exponential(lam), Exponential(mu), p)
+            sim = Simulator(flatten(node), base_seed=11)
+            res = sim.run(200_000.0)
+            counts[p] = res.place("pair/pair_outages_total")
+        assert counts[0.5] > counts[0.0]
+
+    def test_invalid_propagation(self):
+        with pytest.raises(ModelError):
+            build_failover_pair_node(Exponential(1.0), Exponential(1.0), 2.0)
+
+    def test_outage_counter_consistent_with_pair_down(self):
+        node = build_failover_pair_node(
+            Exponential(1 / 50.0), Uniform(5.0, 10.0), 0.2
+        )
+        sim = Simulator(flatten(node), base_seed=12)
+        res = sim.run(50_000.0)
+        # pairs_down is 0 or 1 for a single pair at end of run
+        assert res.place("pair/pairs_down") in (0, 1)
+
+
+class TestDDNUnit:
+    def make_spec(self, **kw) -> DDNUnitSpec:
+        defaults = dict(
+            raid=RAIDConfig(2, 1, disk_replacement_hours=5.0),
+            tiers_per_unit=2,
+            disk_lifetime=Weibull.from_mtbf(1.0, 500.0),
+            controller_failure=Exponential(1 / 300.0),
+            controller_repair=Exponential(1 / 20.0),
+            equilibrium_start=False,
+        )
+        defaults.update(kw)
+        return DDNUnitSpec(**defaults)
+
+    def test_structure(self):
+        model = flatten(build_ddn_unit_node(self.make_spec()))
+        # 2 tiers x 3 disks + controllers
+        assert len(model.match("*/disk[*]/up")) == 6
+        assert len(model.match("*/controller[*]/up")) == 2
+
+    def test_counters_unify_across_fleet(self):
+        model = flatten(build_ddn_fleet_node(self.make_spec(), 3))
+        assert len(model.match("*tiers_down")) == 1
+        assert len(model.match("*ctrl_pairs_down")) == 1
+        assert len(model.match("*disks_replaced")) == 1
+
+    def test_fleet_replacement_rate_scales(self):
+        spec = self.make_spec()
+        rates = []
+        for n_units in (1, 3):
+            model = flatten(build_ddn_fleet_node(spec, n_units))
+            sim = Simulator(model, base_seed=13)
+            imp = ImpulseReward("r", "*/replace")
+            res = replicate_runs(sim, 20_000.0, n_replications=4, rewards=[imp])
+            rates.append(res.estimate("r.per_hour").mean)
+        assert rates[1] == pytest.approx(3 * rates[0], rel=0.2)
+
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError):
+            self.make_spec(tiers_per_unit=0)
+
+    def test_disks_per_unit(self):
+        assert self.make_spec().disks_per_unit == 6
+
+
+class TestMTTDLApproximation:
+    def test_matches_numeric_in_rare_failure_regime(self):
+        mk = RAIDTierMarkov(10, 2, 1e-6, 0.25)
+        approx = raid_mttdl_approximation(10, 2, 1e-6, 0.25)
+        assert mk.mttdl() == pytest.approx(approx, rel=0.01)
+
+    def test_more_parity_longer_mttdl(self):
+        args = (10, 1e-5, 0.25)
+        m1 = RAIDTierMarkov(args[0], 1, args[1], args[2]).mttdl()
+        m2 = RAIDTierMarkov(args[0], 2, args[1], args[2]).mttdl()
+        m3 = RAIDTierMarkov(args[0], 3, args[1], args[2]).mttdl()
+        assert m1 < m2 < m3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            raid_mttdl_approximation(10, 0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            RAIDTierMarkov(1, 1, 1.0, 1.0)
+
+
+class TestCapacityDependentRebuild:
+    def test_vulnerability_window_math(self):
+        cfg = RAID6_8P2.with_rebuild_rate(2.0)
+        assert cfg.vulnerability_hours(0.25) == pytest.approx(4.5)
+        assert cfg.vulnerability_hours(2.56) == pytest.approx(9.12)
+        # default: rebuild folded into the replacement figure
+        assert RAID6_8P2.vulnerability_hours(2.56) == pytest.approx(4.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            RAIDConfig(rebuild_hours_per_tb=-1.0)
+        with pytest.raises(ParameterError):
+            RAID6_8P2.vulnerability_hours(-0.1)
+
+    def test_longer_window_increases_losses(self):
+        """With aggressive propagation, a longer vulnerability window must
+        produce at least as many data-loss events."""
+        from repro.core import ImpulseReward, replicate_runs
+
+        lifetime = Weibull.from_mtbf(1.0, 3_000.0)
+        losses = {}
+        for rate in (0.0, 20.0):
+            cfg = RAIDConfig(8, 2, disk_replacement_hours=2.0).with_rebuild_rate(rate)
+            node = build_tier_node(
+                cfg, lifetime, propagation_p=0.3,
+                equilibrium_start=False, disk_capacity_tb=1.0,
+            )
+            sim = Simulator(flatten(node), base_seed=31)
+            exp = replicate_runs(
+                sim, 40_000.0, n_replications=4,
+                rewards=[ImpulseReward("l", "*/data_loss")],
+            )
+            losses[rate] = exp.estimate("l").mean
+        assert losses[20.0] >= losses[0.0]
+
+    def test_rebuild_rate_does_not_change_replacement_param(self):
+        cfg = RAID6_8P2.with_rebuild_rate(5.0)
+        assert cfg.disk_replacement_hours == RAID6_8P2.disk_replacement_hours

@@ -1,0 +1,114 @@
+"""Design-space sensitivity analysis and CTMC interval rewards."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cfs import DESIGN_KNOBS, abe_parameters, tornado
+from repro.core import (
+    ModelError,
+    ParameterError,
+    RateReward,
+    Simulator,
+    explore,
+    flatten,
+)
+from repro.markov import CTMC
+
+from conftest import build_two_state_san
+
+
+class TestIntervalReward:
+    def test_matches_closed_form_two_state(self):
+        lam, mu = 0.05, 0.5
+        chain = CTMC(2).add_rate(0, 1, lam).add_rate(1, 0, mu)
+        for t in (0.5, 5.0, 100.0):
+            est = chain.interval_reward(0, t, [1.0, 0.0])
+            a = mu / (lam + mu)
+            b = lam / (lam + mu)
+            s = lam + mu
+            exact = a + b * (1.0 - math.exp(-s * t)) / (s * t)
+            assert est == pytest.approx(exact, abs=1e-9)
+
+    def test_long_interval_approaches_steady_state(self):
+        chain = CTMC(2).add_rate(0, 1, 0.1).add_rate(1, 0, 0.9)
+        pi_up = chain.steady_state()[0]
+        assert chain.interval_reward(0, 10_000.0, [1.0, 0.0]) == pytest.approx(
+            pi_up, abs=1e-3
+        )
+
+    def test_short_interval_stays_near_initial(self):
+        chain = CTMC(2).add_rate(0, 1, 0.1).add_rate(1, 0, 0.9)
+        assert chain.interval_reward(0, 1e-4, [1.0, 0.0]) == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_validation(self):
+        chain = CTMC(2).add_rate(0, 1, 1.0).add_rate(1, 0, 1.0)
+        with pytest.raises(ModelError):
+            chain.interval_reward(0, 0.0, [1.0, 0.0])
+        with pytest.raises(ModelError):
+            chain.interval_reward(0, 1.0, [1.0])
+
+    def test_matches_simulated_interval_availability(self, two_state_model):
+        """The CTMC interval reward is what a warmup-free simulation run
+        over [0, T] estimates."""
+        ss = explore(two_state_model)
+        r = ss.reward_vector(lambda m: float(m["comp/up"]))
+        exact = ss.to_ctmc().interval_reward(0, 500.0, r)
+
+        from repro.core import replicate_runs
+
+        sim = Simulator(two_state_model, base_seed=31)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        res = replicate_runs(sim, 500.0, n_replications=40, rewards=[rw])
+        est = res.estimate("a")
+        assert abs(est.mean - exact) < max(3 * est.half_width, 0.01)
+
+
+class TestTornado:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Short windows: we test structure and gross ordering, not precision.
+        return tornado(
+            abe_parameters(),
+            hours=4380.0,
+            n_replications=3,
+            base_seed=55,
+        )
+
+    def test_all_knobs_present(self, result):
+        assert len(result.entries) == len(DESIGN_KNOBS)
+        names = {e.name for e in result.entries}
+        assert "san_fabric_failures_per_720h" in names
+
+    def test_ranked_descending(self, result):
+        swings = [e.swing for e in result.ranked()]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_fabric_rate_moves_availability(self, result):
+        fabric = next(
+            e for e in result.entries if e.name == "san_fabric_failures_per_720h"
+        )
+        # 0.5 vs 2.0 events/month at ~12 h each: ~2.5% availability swing
+        assert fabric.swing > 0.005
+
+    def test_disk_knobs_negligible_at_abe(self, result):
+        """The paper's point: disks are NOT the availability bottleneck."""
+        disk = next(e for e in result.entries if e.name == "disk_mtbf_hours")
+        fabric = next(
+            e for e in result.entries if e.name == "san_fabric_failures_per_720h"
+        )
+        assert disk.swing < fabric.swing
+
+    def test_format(self, result):
+        text = result.format()
+        assert "baseline cfs_availability" in text
+        assert "swing" in text
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            tornado(abe_parameters(), n_replications=1)

@@ -1,0 +1,335 @@
+"""Simulator semantics validated against closed-form results."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    SAN,
+    BinaryTrace,
+    Case,
+    Deterministic,
+    Exponential,
+    ImpulseReward,
+    InstantaneousLoopError,
+    RateReward,
+    SimulationError,
+    Simulator,
+    Uniform,
+    flatten,
+    join,
+    replicate,
+    replicate_runs,
+)
+from repro.markov import two_state_availability
+
+from conftest import build_two_state_san
+
+
+class TestTwoState:
+    def test_availability_exponential(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=1)
+        rw = RateReward("a", lambda m: 1.0 if m["comp/up"] == 1 else 0.0)
+        res = replicate_runs(sim, 60_000.0, n_replications=8, rewards=[rw])
+        est = res.estimate("a")
+        expected = two_state_availability(100.0, 10.0)
+        assert abs(est.mean - expected) < max(3 * est.half_width, 0.01)
+
+    def test_availability_deterministic_repair(self):
+        model = flatten(build_two_state_san(deterministic_repair=True))
+        sim = Simulator(model, base_seed=2)
+        rw = RateReward("a", lambda m: 1.0 if m["comp/up"] == 1 else 0.0)
+        res = replicate_runs(sim, 60_000.0, n_replications=8, rewards=[rw])
+        # A = MTBF/(MTBF+MTTR) holds for general repair laws too.
+        expected = two_state_availability(100.0, 10.0)
+        assert res.estimate("a").mean == pytest.approx(expected, abs=0.01)
+
+    def test_failure_frequency(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=3)
+        imp = ImpulseReward("fails", "comp/fail")
+        res = replicate_runs(sim, 50_000.0, n_replications=6, rewards=[imp])
+        # Long-run failure frequency = 1/(MTBF+MTTR).
+        assert res.estimate("fails.per_hour").mean == pytest.approx(
+            1.0 / 110.0, rel=0.1
+        )
+
+    def test_reproducible_with_same_seed(self, two_state_model):
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        r1 = Simulator(two_state_model, base_seed=9).run(5000.0, rewards=[rw])
+        r2 = Simulator(two_state_model, base_seed=9).run(5000.0, rewards=[rw])
+        assert r1["a"].integral == r2["a"].integral
+        assert r1.n_events == r2.n_events
+
+    def test_different_seeds_differ(self, two_state_model):
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        r1 = Simulator(two_state_model, base_seed=9).run(5000.0, rewards=[rw])
+        r2 = Simulator(two_state_model, base_seed=10).run(5000.0, rewards=[rw])
+        assert r1["a"].integral != r2["a"].integral
+
+
+class TestWarmupAndWindows:
+    def test_warmup_shrinks_duration(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=4)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        res = sim.run(1000.0, warmup=200.0, rewards=[rw])
+        assert res.duration == pytest.approx(800.0)
+        assert res["a"].duration == pytest.approx(800.0)
+
+    def test_invalid_until(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=5)
+        with pytest.raises(SimulationError):
+            sim.run(0.0)
+        with pytest.raises(SimulationError):
+            sim.run(10.0, warmup=10.0)
+
+    def test_rate_reward_value_bounds(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=6)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        res = sim.run(2000.0, rewards=[rw])
+        assert 0.0 <= res["a"].time_average <= 1.0
+
+
+class TestStopPredicate:
+    def test_stops_on_condition(self):
+        san = SAN("s")
+        san.place("n", 0)
+        san.timed(
+            "tick",
+            Deterministic(1.0),
+            enabled=lambda m: True,
+            effect=lambda m, rng: m.__setitem__("n", m["n"] + 1),
+        )
+        sim = Simulator(flatten(san), base_seed=1)
+        res = sim.run(1000.0, stop_predicate=lambda m: m["s/n"] >= 5)
+        assert res.stopped_early
+        assert res.final_time == pytest.approx(5.0)
+        assert res.place("s/n") == 5
+
+
+class TestInstantaneous:
+    def test_priority_order(self):
+        san = SAN("s")
+        san.place("token", 1)
+        san.place("winner", 0)
+
+        def take(value):
+            def effect(m, rng):
+                if m["token"] == 1:
+                    m["token"] = 0
+                    m["winner"] = value
+
+            return effect
+
+        san.instant("low", enabled=lambda m: m["token"] == 1, effect=take(1), priority=1)
+        san.instant("high", enabled=lambda m: m["token"] == 1, effect=take(2), priority=9)
+        sim = Simulator(flatten(san), base_seed=1)
+        # no timed activities fire; but initial settle runs instants
+        san2 = san  # silence lint
+        res = sim.run(1.0)
+        assert res.place("s/winner") == 2
+
+    def test_loop_guard(self):
+        san = SAN("s")
+        san.place("a", 1)
+        san.place("b", 0)
+        san.instant(
+            "flip1",
+            enabled=lambda m: m["a"] == 1,
+            effect=lambda m, rng: (m.__setitem__("a", 0), m.__setitem__("b", 1)),
+        )
+        san.instant(
+            "flip2",
+            enabled=lambda m: m["b"] == 1,
+            effect=lambda m, rng: (m.__setitem__("b", 0), m.__setitem__("a", 1)),
+        )
+        sim = Simulator(flatten(san), base_seed=1, max_instant_chain=100)
+        with pytest.raises(InstantaneousLoopError):
+            sim.run(1.0)
+
+    def test_chain_counts_events(self):
+        san = SAN("s")
+        san.place("stage", 0)
+        for i in range(5):
+            san.instant(
+                f"step{i}",
+                enabled=lambda m, _i=i: m["stage"] == _i,
+                effect=lambda m, rng, _i=i: m.__setitem__("stage", _i + 1),
+            )
+        sim = Simulator(flatten(san), base_seed=1)
+        res = sim.run(1.0)
+        assert res.place("s/stage") == 5
+        assert res.n_events == 5
+
+
+class TestCases:
+    def test_case_split_frequencies(self):
+        san = SAN("s")
+        san.place("heads", 0)
+        san.place("tails", 0)
+        san.timed(
+            "flip",
+            Exponential(1.0),
+            enabled=lambda m: True,
+            cases=[
+                Case(0.3, lambda m, rng: m.__setitem__("heads", m["heads"] + 1)),
+                Case(0.7, lambda m, rng: m.__setitem__("tails", m["tails"] + 1)),
+            ],
+        )
+        sim = Simulator(flatten(san), base_seed=11)
+        res = sim.run(20_000.0)
+        heads, tails = res.place("s/heads"), res.place("s/tails")
+        assert heads + tails > 15_000
+        assert heads / (heads + tails) == pytest.approx(0.3, abs=0.02)
+
+    def test_marking_dependent_case_probability(self):
+        san = SAN("s")
+        san.place("mode", 0)  # 0 -> always case A; later set to 4 -> 50/50
+        san.place("a", 0)
+        san.place("b", 0)
+        san.timed(
+            "flip",
+            Exponential(1.0),
+            enabled=lambda m: True,
+            cases=[
+                Case(lambda m: 1.0 - m["mode"] / 8.0, lambda m, rng: m.__setitem__("a", m["a"] + 1)),
+                Case(lambda m: m["mode"] / 8.0, lambda m, rng: m.__setitem__("b", m["b"] + 1)),
+            ],
+        )
+        sim = Simulator(flatten(san), base_seed=12)
+        res = sim.run(5_000.0)
+        assert res.place("s/b") == 0  # mode stayed 0: case B never selected
+
+
+class TestMarkingDependentDistribution:
+    def test_rate_follows_marking(self):
+        # A counter whose tick rate doubles when boost==1; boost toggles.
+        san = SAN("s")
+        san.place("boost", 0)
+        san.place("n", 0)
+        san.timed(
+            "tick",
+            lambda m: Exponential(2.0 if m["boost"] == 1 else 1.0),
+            enabled=lambda m: True,
+            effect=lambda m, rng: m.__setitem__("n", m["n"] + 1),
+        )
+        san.timed(
+            "toggle_on",
+            Deterministic(1000.0),
+            enabled=lambda m: m["boost"] == 0,
+            effect=lambda m, rng: m.__setitem__("boost", 1),
+        )
+        sim = Simulator(flatten(san), base_seed=13)
+        res = sim.run(2000.0)
+        # first 1000 h at rate 1, second 1000 h at rate 2 -> ~3000 ticks
+        assert res.place("s/n") == pytest.approx(3000, rel=0.1)
+
+
+class TestReactivation:
+    def test_reactivating_activity_resamples(self):
+        # Service rate depends on queue length; with reactivate=True the
+        # remaining service time re-samples when the rate changes.
+        san = SAN("q")
+        san.place("jobs", 0)
+        san.timed(
+            "arrive",
+            Exponential(1.0),
+            enabled=lambda m: m["jobs"] < 50,
+            effect=lambda m, rng: m.__setitem__("jobs", m["jobs"] + 1),
+        )
+        san.timed(
+            "serve",
+            lambda m: Exponential(2.0 * max(m["jobs"], 1)),
+            enabled=lambda m: m["jobs"] > 0,
+            effect=lambda m, rng: m.__setitem__("jobs", m["jobs"] - 1),
+            reactivate=True,
+        )
+        sim = Simulator(flatten(san), base_seed=14)
+        rw = RateReward("L", lambda m: float(m["q/jobs"]))
+        res = sim.run(20_000.0, rewards=[rw])
+        # M/M/inf-like with service rate 2 per job: L ~ Poisson(0.5) mean 0.5
+        assert res["L"].time_average == pytest.approx(0.5, abs=0.08)
+
+
+class TestSharedStateAcrossSubmodels:
+    def test_alarm_threshold_matches_binomial(self):
+        pair = build_two_state_san("unit", 1 / 50.0, 1 / 5.0)
+        pair.place("down_count", 0)
+        # rebuild with counting effects
+        pair = SAN("unit")
+        pair.place("up", 1)
+        pair.place("down_count", 0)
+        pair.timed(
+            "fail",
+            Exponential(1 / 50.0),
+            enabled=lambda m: m["up"] == 1,
+            effect=lambda m, rng: (
+                m.__setitem__("up", 0),
+                m.__setitem__("down_count", m["down_count"] + 1),
+            ),
+        )
+        pair.timed(
+            "rep",
+            Exponential(1 / 5.0),
+            enabled=lambda m: m["up"] == 0,
+            effect=lambda m, rng: (
+                m.__setitem__("up", 1),
+                m.__setitem__("down_count", m["down_count"] - 1),
+            ),
+        )
+        model = flatten(replicate("units", pair, 4, shared=["down_count"]))
+        sim = Simulator(model, base_seed=15)
+        rw = RateReward("ge2", lambda m: 1.0 if m["units/down_count"] >= 2 else 0.0)
+        res = replicate_runs(sim, 40_000.0, n_replications=6, rewards=[rw])
+        q = 5.0 / 55.0
+        expected = sum(
+            math.comb(4, k) * q**k * (1 - q) ** (4 - k) for k in range(2, 5)
+        )
+        assert res.estimate("ge2").mean == pytest.approx(expected, rel=0.15)
+
+
+class TestObserverErrors:
+    def test_unmatched_impulse_pattern_raises(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=1)
+        with pytest.raises(SimulationError, match="matches no activity"):
+            sim.run(10.0, rewards=[ImpulseReward("x", "nope/*")])
+
+    def test_duplicate_reward_names_rejected(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=1)
+        rws = [
+            RateReward("a", lambda m: 1.0),
+            RateReward("a", lambda m: 0.0),
+        ]
+        with pytest.raises(SimulationError, match="duplicate reward"):
+            sim.run(10.0, rewards=rws)
+
+    def test_unknown_reward_lookup(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=1)
+        res = sim.run(10.0, rewards=[RateReward("a", lambda m: 1.0)])
+        with pytest.raises(KeyError):
+            res["nope"]
+        with pytest.raises(KeyError):
+            res.trace("nope")
+
+
+class TestTraceIntegration:
+    def test_binary_trace_availability_equals_rate_reward(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=16)
+        rw = RateReward("a", lambda m: float(m["comp/up"]))
+        tr = BinaryTrace("up", lambda m: m["comp/up"] == 1)
+        res = sim.run(5000.0, rewards=[rw], traces=[tr])
+        assert res.trace("up").availability() == pytest.approx(
+            res["a"].time_average, abs=1e-12
+        )
+
+    def test_intervals_partition_window(self, two_state_model):
+        sim = Simulator(two_state_model, base_seed=17)
+        tr = BinaryTrace("up", lambda m: m["comp/up"] == 1)
+        res = sim.run(3000.0, traces=[tr])
+        ivs = res.trace("up").intervals()
+        assert ivs[0].start == 0.0
+        assert ivs[-1].end == pytest.approx(3000.0)
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.end == pytest.approx(b.start)
+            assert a.value != b.value

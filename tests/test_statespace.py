@@ -1,0 +1,150 @@
+"""State-space generation: SAN -> CTMC equivalence with the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SAN,
+    Case,
+    Deterministic,
+    Exponential,
+    RateReward,
+    Simulator,
+    StateSpaceError,
+    explore,
+    flatten,
+    join,
+    replicate,
+    replicate_runs,
+)
+
+
+def two_state():
+    san = SAN("c")
+    san.place("up", 1)
+    san.timed("fail", Exponential(0.02), enabled=lambda m: m["up"] == 1,
+              effect=lambda m, rng: m.__setitem__("up", 0))
+    san.timed("rep", Exponential(0.2), enabled=lambda m: m["up"] == 0,
+              effect=lambda m, rng: m.__setitem__("up", 1))
+    return flatten(san)
+
+
+class TestExplore:
+    def test_two_state_chain(self):
+        ss = explore(two_state())
+        assert ss.n_states == 2
+        ctmc = ss.to_ctmc()
+        r = ss.reward_vector(lambda m: float(m["c/up"]))
+        assert ctmc.steady_state_reward(r) == pytest.approx(0.2 / 0.22)
+
+    def test_replicated_kofn(self):
+        unit = SAN("u")
+        unit.place("up", 1)
+        unit.place("down_count", 0)
+        unit.timed("fail", Exponential(0.1), enabled=lambda m: m["up"] == 1,
+                   effect=lambda m, rng: (m.__setitem__("up", 0),
+                                          m.__setitem__("down_count", m["down_count"] + 1)))
+        unit.timed("rep", Exponential(1.0), enabled=lambda m: m["up"] == 0,
+                   effect=lambda m, rng: (m.__setitem__("up", 1),
+                                          m.__setitem__("down_count", m["down_count"] - 1)))
+        model = flatten(replicate("sys", unit, 3, shared=["down_count"]))
+        ss = explore(model)
+        # states: each unit up/down -> 8 reachable markings
+        assert ss.n_states == 8
+        r = ss.reward_vector(lambda m: 1.0 if m["sys/down_count"] == 0 else 0.0)
+        a_unit = 1.0 / 1.1  # mu/(lam+mu) = 1/(1.1)
+        assert ss.to_ctmc().steady_state_reward(r) == pytest.approx(a_unit**3, rel=1e-9)
+
+    def test_vanishing_elimination(self):
+        san = SAN("s")
+        san.place("phase", 0)
+        san.place("alarm", 0)
+        san.timed("go", Exponential(1.0), enabled=lambda m: m["phase"] == 0,
+                  effect=lambda m, rng: m.__setitem__("phase", 1))
+        san.instant("detect", enabled=lambda m: m["phase"] == 1 and m["alarm"] == 0,
+                    effect=lambda m, rng: m.__setitem__("alarm", 1))
+        san.timed("reset", Exponential(2.0), enabled=lambda m: m["alarm"] == 1,
+                  effect=lambda m, rng: (m.__setitem__("alarm", 0),
+                                         m.__setitem__("phase", 0)))
+        ss = explore(flatten(san))
+        # only tangible states: (0,0) and (1,1)
+        assert ss.n_states == 2
+
+    def test_probabilistic_cases_split_rates(self):
+        san = SAN("s")
+        san.place("a", 0)
+        san.place("b", 0)
+        san.place("idle", 1)
+        san.timed(
+            "move",
+            Exponential(1.0),
+            enabled=lambda m: m["idle"] == 1,
+            cases=[
+                Case(0.25, lambda m, rng: (m.__setitem__("a", 1), m.__setitem__("idle", 0))),
+                Case(0.75, lambda m, rng: (m.__setitem__("b", 1), m.__setitem__("idle", 0))),
+            ],
+        )
+        ss = explore(flatten(san))
+        ctmc = ss.to_ctmc()
+        probs = ctmc.absorption_probabilities(0)
+        values = sorted(probs.values())
+        assert values == pytest.approx([0.25, 0.75])
+
+    def test_non_exponential_rejected(self):
+        san = SAN("s")
+        san.place("up", 1)
+        san.timed("fail", Deterministic(5.0), enabled=lambda m: m["up"] == 1,
+                  effect=lambda m, rng: m.__setitem__("up", 0))
+        with pytest.raises(StateSpaceError, match="not exponential"):
+            explore(flatten(san))
+
+    def test_rng_in_gate_function_rejected(self):
+        san = SAN("s")
+        san.place("up", 1)
+        san.timed("fail", Exponential(1.0), enabled=lambda m: m["up"] == 1,
+                  effect=lambda m, rng: m.__setitem__("up", int(rng.uniform() > 0.5)))
+        with pytest.raises(StateSpaceError, match="deterministic"):
+            explore(flatten(san))
+
+    def test_max_states_guard(self):
+        san = SAN("s")
+        san.place("n", 0)
+        san.timed("inc", Exponential(1.0), enabled=lambda m: True,
+                  effect=lambda m, rng: m.__setitem__("n", m["n"] + 1))
+        with pytest.raises(StateSpaceError, match="max_states"):
+            explore(flatten(san), max_states=50)
+
+
+class TestSimulatorAgreement:
+    def test_sim_matches_exact_solution(self):
+        model = two_state()
+        ss = explore(model)
+        r = ss.reward_vector(lambda m: float(m["c/up"]))
+        exact = ss.to_ctmc().steady_state_reward(r)
+        sim = Simulator(model, base_seed=5)
+        rw = RateReward("a", lambda m: float(m["c/up"]))
+        res = replicate_runs(sim, 30_000.0, n_replications=8, rewards=[rw])
+        est = res.estimate("a")
+        assert abs(est.mean - exact) < max(4 * est.half_width, 0.01)
+
+    def test_sim_matches_exact_on_shared_counter_model(self):
+        unit = SAN("u")
+        unit.place("up", 1)
+        unit.place("down_count", 0)
+        unit.timed("fail", Exponential(0.05), enabled=lambda m: m["up"] == 1,
+                   effect=lambda m, rng: (m.__setitem__("up", 0),
+                                          m.__setitem__("down_count", m["down_count"] + 1)))
+        unit.timed("rep", Exponential(0.5), enabled=lambda m: m["up"] == 0,
+                   effect=lambda m, rng: (m.__setitem__("up", 1),
+                                          m.__setitem__("down_count", m["down_count"] - 1)))
+        model = flatten(replicate("sys", unit, 2, shared=["down_count"]))
+        ss = explore(model)
+        reward = lambda m: 1.0 if m["sys/down_count"] >= 1 else 0.0
+        exact = ss.to_ctmc().steady_state_reward(ss.reward_vector(reward))
+        sim = Simulator(model, base_seed=6)
+        res = replicate_runs(
+            sim, 30_000.0, n_replications=8, rewards=[RateReward("x", reward)]
+        )
+        est = res.estimate("x")
+        assert abs(est.mean - exact) < max(4 * est.half_width, 0.01)

@@ -1,0 +1,149 @@
+"""Survival analysis: Kaplan-Meier and censored Weibull/exponential MLE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    KaplanMeier,
+    fit_exponential_censored,
+    fit_weibull_censored,
+)
+from repro.core import FitError, Weibull, make_generator
+
+
+def censored_sample(shape: float, mtbf: float, n: int, censor_hi: float, seed: int):
+    rng = make_generator(seed)
+    law = Weibull.from_mtbf(shape, mtbf)
+    life = law.sample_many(rng, n)
+    censor = rng.uniform(0.0, censor_hi, n)
+    observed = life <= censor
+    durations = np.minimum(life, censor)
+    return durations, observed
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        t = [1.0, 2.0, 3.0, 4.0]
+        km = KaplanMeier(t, [True] * 4)
+        assert km.survival(2.5) == pytest.approx(0.5)
+        assert km.survival(0.5) == 1.0
+        assert km.survival(4.0) == pytest.approx(0.0)
+
+    def test_censoring_reduces_at_risk(self):
+        # unit censored at 1.5 leaves 2 at risk for the event at 2.0
+        km = KaplanMeier([1.0, 1.5, 2.0, 3.0], [True, False, True, True])
+        assert km.survival(2.5) == pytest.approx(0.75 * 0.5)
+
+    def test_median(self):
+        km = KaplanMeier([1.0, 2.0, 3.0, 4.0], [True] * 4)
+        assert km.median() == 2.0
+
+    def test_median_unreached(self):
+        km = KaplanMeier([1.0, 2.0, 3.0, 4.0], [True, False, False, False])
+        assert km.median() == np.inf
+
+    def test_recovers_true_survival(self):
+        durations, observed = censored_sample(0.7, 1000.0, 4000, 3000.0, 5)
+        km = KaplanMeier(durations, observed)
+        true = Weibull.from_mtbf(0.7, 1000.0)
+        for t in (100.0, 500.0, 1500.0):
+            assert km.survival(t) == pytest.approx(true.survival(t), abs=0.05)
+
+    def test_input_validation(self):
+        with pytest.raises(FitError):
+            KaplanMeier([], [])
+        with pytest.raises(FitError):
+            KaplanMeier([1.0], [True, False])
+        with pytest.raises(FitError):
+            KaplanMeier([-1.0], [True])
+
+
+class TestWeibullMLE:
+    def test_recovers_parameters_large_sample(self):
+        durations, observed = censored_sample(0.7, 1000.0, 6000, 4000.0, 7)
+        fit = fit_weibull_censored(durations, observed)
+        assert fit.shape == pytest.approx(0.7, abs=0.05)
+        assert fit.mtbf_hours == pytest.approx(1000.0, rel=0.15)
+        assert fit.n_events == int(np.asarray(observed).sum())
+
+    def test_ci_covers_truth(self):
+        hits = 0
+        for seed in range(20):
+            durations, observed = censored_sample(0.7, 1000.0, 400, 3000.0, seed)
+            fit = fit_weibull_censored(durations, observed)
+            lo, hi = fit.shape_confidence_interval()
+            hits += lo <= 0.7 <= hi
+        assert hits >= 16  # ~95% coverage, allow slack
+
+    def test_exponential_data_gives_shape_one(self):
+        durations, observed = censored_sample(1.0, 500.0, 5000, 2000.0, 9)
+        fit = fit_weibull_censored(durations, observed)
+        assert fit.shape == pytest.approx(1.0, abs=0.06)
+
+    def test_increasing_hazard_detected(self):
+        durations, observed = censored_sample(2.0, 100.0, 3000, 400.0, 11)
+        fit = fit_weibull_censored(durations, observed)
+        assert fit.shape == pytest.approx(2.0, abs=0.15)
+
+    def test_small_sample_table4_regime(self):
+        # The paper's regime: ~480 units, few failures, heavy censoring.
+        durations, observed = censored_sample(0.7, 300_000.0, 480, 6000.0, 13)
+        if not observed.any():
+            pytest.skip("no failures in draw")
+        fit = fit_weibull_censored(durations, observed)
+        lo, hi = fit.shape_confidence_interval()
+        assert lo < 0.7 < hi  # wide interval but should bracket truth
+        assert fit.se_log_shape > 0.05  # genuinely uncertain
+
+    def test_all_censored_rejected(self):
+        with pytest.raises(FitError, match="no failures"):
+            fit_weibull_censored([1.0, 2.0], [False, False])
+
+    def test_nonpositive_durations_rejected(self):
+        with pytest.raises(FitError):
+            fit_weibull_censored([0.0, 1.0], [True, True])
+
+    def test_distribution_accessor(self):
+        durations, observed = censored_sample(0.7, 1000.0, 2000, 4000.0, 15)
+        fit = fit_weibull_censored(durations, observed)
+        law = fit.distribution()
+        assert law.shape == pytest.approx(fit.shape)
+
+
+class TestExponentialFit:
+    def test_closed_form(self):
+        durations = [10.0, 20.0, 30.0, 40.0]
+        observed = [True, True, False, False]
+        fit = fit_exponential_censored(durations, observed)
+        assert fit.rate == pytest.approx(2.0 / 100.0)
+        assert fit.mtbf_hours == pytest.approx(50.0)
+        assert fit.n_events == 2
+
+    def test_afr(self):
+        fit = fit_exponential_censored([8760.0] * 99 + [1.0], [False] * 99 + [True])
+        assert fit.afr == pytest.approx(8760.0 * fit.rate)
+
+    def test_recovers_rate(self):
+        durations, observed = censored_sample(1.0, 300.0, 4000, 1000.0, 17)
+        fit = fit_exponential_censored(durations, observed)
+        assert fit.mtbf_hours == pytest.approx(300.0, rel=0.08)
+
+
+@given(
+    shape=st.sampled_from([0.6, 0.8, 1.0, 1.5]),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=12, deadline=None)
+def test_mle_bracket_property(shape: float, seed: int):
+    """The 3-sigma log-shape interval should almost always bracket truth."""
+    durations, observed = censored_sample(shape, 500.0, 1500, 1800.0, seed)
+    fit = fit_weibull_censored(durations, observed)
+    import math
+
+    lo = fit.shape * math.exp(-4 * fit.se_log_shape)
+    hi = fit.shape * math.exp(4 * fit.se_log_shape)
+    assert lo < shape < hi

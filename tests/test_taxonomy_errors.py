@@ -1,0 +1,75 @@
+"""Failure taxonomy and error-hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfs import OUTAGE_CAUSES, FailureClass, FailureSite
+from repro.core import (
+    AnalysisError,
+    CompositionError,
+    FitError,
+    InstantaneousLoopError,
+    ModelError,
+    ParameterError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    StateSpaceError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ModelError,
+            CompositionError,
+            SimulationError,
+            InstantaneousLoopError,
+            StateSpaceError,
+            AnalysisError,
+            ParseError,
+            FitError,
+            ParameterError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_specializations(self):
+        assert issubclass(CompositionError, ModelError)
+        assert issubclass(InstantaneousLoopError, SimulationError)
+        assert issubclass(ParseError, AnalysisError)
+        assert issubclass(FitError, AnalysisError)
+
+    def test_catchable_as_library_failure(self):
+        with pytest.raises(ReproError):
+            raise ParseError("bad line")
+
+
+class TestFailureTaxonomy:
+    def test_every_site_has_a_cause_label(self):
+        for site in FailureSite:
+            assert site in OUTAGE_CAUSES, site
+
+    def test_cause_labels_match_table1_vocabulary(self):
+        labels = {info.label for info in OUTAGE_CAUSES.values()}
+        assert labels <= {"I/O hardware", "Network", "Batch system", "File system"}
+
+    def test_hardware_sites_labelled_io_hardware(self):
+        for site in (
+            FailureSite.OSS,
+            FailureSite.SAN_FABRIC,
+            FailureSite.DDN_CONTROLLER,
+        ):
+            assert OUTAGE_CAUSES[site].label == "I/O hardware"
+
+    def test_classes_are_the_papers_three_plus_disk(self):
+        assert {c.value for c in FailureClass} == {
+            "hardware",
+            "software",
+            "transient",
+            "disk",
+        }
+
+    def test_str_round(self):
+        assert str(FailureClass.HARDWARE) == "hardware"
+        assert str(FailureSite.OSS) == "oss"
