@@ -155,7 +155,16 @@ def parse_file(path: str | Path, strict: bool = True) -> ParseReport:
 
 
 def _quote(value: str) -> str:
-    if value and " " not in value and '"' not in value and "\\" not in value:
+    # Quote on any whitespace (not just ASCII space): parse_line strips
+    # the ends of the line with str.strip(), which removes all Unicode
+    # whitespace, so e.g. a trailing non-breaking space in the last field
+    # would be lost if left unquoted.
+    if (
+        value
+        and '"' not in value
+        and "\\" not in value
+        and not any(ch.isspace() for ch in value)
+    ):
         return value
     escaped = value.replace("\\", "\\\\").replace('"', '\\"')
     return f'"{escaped}"'

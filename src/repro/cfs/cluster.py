@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..core.composition import FlatModel, Node, flatten, join
 from ..core.experiment import Estimate, ExperimentResult, replicate_runs
+from ..core.parallel import ReplicationSetup, ReplicationSpec
 from ..core.simulation import Simulator
 from .components import (
     build_client_network_node,
@@ -64,6 +65,30 @@ def build_storage_only_model(params: CFSParameters) -> FlatModel:
     "we evaluate the DDN_UNITS models ... in isolation from failures of
     other components of the SAN")."""
     return flatten(build_storage_node(params))
+
+
+def _cluster_setup(params: CFSParameters, base_seed: int) -> ReplicationSetup:
+    """Module-level factory so parallel workers can rebuild the study."""
+    model = flatten(build_cluster_node(params))
+    measures = build_measures(model, params)
+    return ReplicationSetup(
+        Simulator(model, base_seed=base_seed),
+        measures.rewards,
+        measures.traces_factory,
+        measures.extra_metrics,
+    )
+
+
+def _storage_setup(params: CFSParameters, base_seed: int) -> ReplicationSetup:
+    """Module-level factory for the storage-isolation study."""
+    model = build_storage_only_model(params)
+    measures = build_storage_measures(model)
+    return ReplicationSetup(
+        Simulator(model, base_seed=base_seed),
+        measures.rewards,
+        None,
+        measures.extra_metrics,
+    )
 
 
 @dataclass(frozen=True)
@@ -126,17 +151,27 @@ class ClusterModel:
 
     def __init__(self, params: CFSParameters, base_seed: int = 2008) -> None:
         self.params = params
+        self.base_seed = int(base_seed)
         self.model = flatten(build_cluster_node(params))
         self.simulator = Simulator(self.model, base_seed=base_seed)
         self.measures = build_measures(self.model, params)
+
+    def replication_spec(self) -> ReplicationSpec:
+        """Picklable recipe for rebuilding this study in worker processes."""
+        return ReplicationSpec(_cluster_setup, (self.params, self.base_seed))
 
     def simulate(
         self,
         hours: float = DEFAULT_HOURS,
         n_replications: int = 10,
         warmup: float = 0.0,
+        n_jobs: int | None = 1,
     ) -> ClusterResult:
-        """Run replications and collect the paper's measures."""
+        """Run replications and collect the paper's measures.
+
+        ``n_jobs`` runs replications across processes (-1 = all cores);
+        results are bit-identical to serial execution for any value.
+        """
         experiment = replicate_runs(
             self.simulator,
             hours,
@@ -145,6 +180,8 @@ class ClusterModel:
             rewards=self.measures.rewards,
             traces_factory=self.measures.traces_factory,
             extra_metrics=self.measures.extra_metrics,
+            n_jobs=n_jobs,
+            spec=self.replication_spec(),
         )
         return ClusterResult(self.params, experiment)
 
@@ -158,17 +195,27 @@ class StorageModel:
 
     def __init__(self, params: CFSParameters, base_seed: int = 96) -> None:
         self.params = params
+        self.base_seed = int(base_seed)
         self.model = build_storage_only_model(params)
         self.simulator = Simulator(self.model, base_seed=base_seed)
         self.measures = build_storage_measures(self.model)
+
+    def replication_spec(self) -> ReplicationSpec:
+        """Picklable recipe for rebuilding this study in worker processes."""
+        return ReplicationSpec(_storage_setup, (self.params, self.base_seed))
 
     def simulate(
         self,
         hours: float = DEFAULT_HOURS,
         n_replications: int = 10,
         warmup: float = 0.0,
+        n_jobs: int | None = 1,
     ) -> ClusterResult:
-        """Run replications of the storage-only model."""
+        """Run replications of the storage-only model.
+
+        ``n_jobs`` runs replications across processes (-1 = all cores);
+        results are bit-identical to serial execution for any value.
+        """
         experiment = replicate_runs(
             self.simulator,
             hours,
@@ -176,5 +223,7 @@ class StorageModel:
             warmup=warmup,
             rewards=self.measures.rewards,
             extra_metrics=self.measures.extra_metrics,
+            n_jobs=n_jobs,
+            spec=self.replication_spec(),
         )
         return ClusterResult(self.params, experiment)

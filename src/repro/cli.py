@@ -31,25 +31,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def jobs_value(text: str) -> int:
+        value = int(text)
+        if value == 0 or value < -1:
+            raise argparse.ArgumentTypeError(
+                f"must be >= 1 or -1 (all cores), got {value}"
+            )
+        return value
+
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=jobs_value,
+            default=1,
+            metavar="N",
+            help="worker processes for replications (-1 = all cores); "
+            "results are identical for any value",
+        )
+
     p_tables = sub.add_parser("tables", help="regenerate Tables 1-5")
     p_tables.add_argument("--seed", type=int, default=2013)
 
     p_figures = sub.add_parser("figures", help="regenerate Figures 2-4")
     p_figures.add_argument("--full", action="store_true", help="paper fidelity")
+    add_jobs(p_figures)
 
     p_all = sub.add_parser("all", help="regenerate every table and figure")
     p_all.add_argument("--full", action="store_true")
     p_all.add_argument("--seed", type=int, default=2013)
+    add_jobs(p_all)
 
     p_cal = sub.add_parser("calibrate", help="print the Figure 4 anchors")
     p_cal.add_argument("--replications", type=int, default=8)
     p_cal.add_argument("--hours", type=float, default=8760.0)
+    add_jobs(p_cal)
 
     p_sim = sub.add_parser("simulate", help="simulate a preset")
     p_sim.add_argument("preset", choices=["abe", "petascale", "petascale-spare"])
     p_sim.add_argument("--replications", type=int, default=8)
     p_sim.add_argument("--hours", type=float, default=8760.0)
     p_sim.add_argument("--seed", type=int, default=2008)
+    add_jobs(p_sim)
 
     p_logs = sub.add_parser("logs", help="synthesize the ABE logs")
     p_logs.add_argument("output_dir")
@@ -75,11 +97,17 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments import run_figure2, run_figure3, run_figure4
 
     if args.full:
-        fig_kwargs: dict = {}
-        fig4_kwargs: dict = {}
+        fig_kwargs: dict = {"n_jobs": args.jobs}
+        fig4_kwargs: dict = {"n_jobs": args.jobs}
     else:
-        fig_kwargs = {"n_steps": 4, "n_replications": 3, "hours": 4380.0}
-        fig4_kwargs = {"n_steps": 3, "n_replications": 3, "hours": 4380.0}
+        fig_kwargs = {
+            "n_steps": 4, "n_replications": 3, "hours": 4380.0,
+            "n_jobs": args.jobs,
+        }
+        fig4_kwargs = {
+            "n_steps": 3, "n_replications": 3, "hours": 4380.0,
+            "n_jobs": args.jobs,
+        }
     for result in (
         run_figure2(**fig_kwargs),
         run_figure3(**fig_kwargs),
@@ -93,7 +121,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
-    print(run_all(full=args.full, seed=args.seed))
+    print(run_all(full=args.full, seed=args.seed, n_jobs=args.jobs))
     return 0
 
 
@@ -108,7 +136,9 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     for label, params in presets:
         t0 = time.time()
         result = ClusterModel(params, base_seed=2008).simulate(
-            hours=args.hours, n_replications=args.replications
+            hours=args.hours,
+            n_replications=args.replications,
+            n_jobs=args.jobs,
         )
         print(f"{label:<32} CFS availability {result.cfs_availability}"
               f"   [{time.time() - t0:.0f}s]")
@@ -124,7 +154,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "petascale-spare": lambda: petascale_parameters().with_spare_oss(1),
     }[args.preset]()
     model = ClusterModel(params, base_seed=args.seed)
-    result = model.simulate(hours=args.hours, n_replications=args.replications)
+    result = model.simulate(
+        hours=args.hours, n_replications=args.replications, n_jobs=args.jobs
+    )
     print(result.summary())
     return 0
 

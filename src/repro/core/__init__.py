@@ -7,7 +7,8 @@ Public API:
 * composition: :func:`join`, :func:`replicate`, :func:`leaf`, :func:`flatten`
 * execution: :class:`Simulator`, :class:`RateReward`, :class:`ImpulseReward`,
   :class:`BinaryTrace`, :class:`EventTrace`
-* experiments: :func:`replicate_runs`, :class:`Estimate`
+* experiments: :func:`replicate_runs` (serial or ``n_jobs`` parallel),
+  :class:`Estimate`, :class:`ReplicationSpec`
 * exact solutions: :func:`explore` (state space → CTMC)
 """
 
@@ -52,8 +53,10 @@ from .errors import (
     SimulationError,
     StateSpaceError,
 )
-from .experiment import Estimate, ExperimentResult, replicate_runs
+from .distributions import BatchedSampler
+from .experiment import Estimate, ExperimentResult, build_metrics, replicate_runs
 from .gates import Case, InputGate, OutputGate
+from .parallel import ReplicationSetup, ReplicationSpec, resolve_n_jobs
 from .places import LocalView, MarkingVector, Place
 from .rewards import ImpulseReward, RateReward, RewardResult
 from .rng import SeedTree, derive_seed, make_generator
@@ -110,6 +113,11 @@ __all__ = [
     "Estimate",
     "ExperimentResult",
     "replicate_runs",
+    "build_metrics",
+    "BatchedSampler",
+    "ReplicationSetup",
+    "ReplicationSpec",
+    "resolve_n_jobs",
     "StateSpace",
     "explore",
     "SeedTree",

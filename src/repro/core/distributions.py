@@ -33,6 +33,7 @@ from .errors import ModelError
 
 __all__ = [
     "HOURS_PER_YEAR",
+    "BatchedSampler",
     "Distribution",
     "Exponential",
     "Deterministic",
@@ -95,6 +96,51 @@ class Distribution(ABC):
     def is_exponential(self) -> bool:
         """True only for the memoryless exponential distribution."""
         return False
+
+
+class BatchedSampler:
+    """Serves single variates from vectorized blocks of a distribution.
+
+    One ``rng.<law>(size=n)`` call replaces ``n`` scalar draws, amortizing
+    the per-call overhead of :class:`numpy.random.Generator` across a
+    block.  Because a whole block is consumed from the stream at refill
+    time, trajectories differ from per-draw sampling (both are fully
+    deterministic for a fixed seed); the simulator therefore only uses
+    batched sampling when explicitly enabled.
+
+    The buffer must be :meth:`reset` at the start of every run so that a
+    run's draws come exclusively from that run's generator (this is what
+    keeps replications independent and serial/parallel execution
+    identical).
+    """
+
+    __slots__ = ("distribution", "batch_size", "_buffer", "_pos")
+
+    def __init__(self, distribution: "Distribution", batch_size: int = 256) -> None:
+        if batch_size < 1:
+            raise ModelError(f"batch_size must be >= 1, got {batch_size}")
+        self.distribution = distribution
+        self.batch_size = int(batch_size)
+        self._buffer: list[float] | None = None
+        self._pos = 0
+
+    def reset(self) -> None:
+        """Discard buffered draws (call at the start of each run)."""
+        self._buffer = None
+        self._pos = 0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one variate, refilling the block buffer as needed."""
+        buf = self._buffer
+        pos = self._pos
+        if buf is None or pos >= self.batch_size:
+            # tolist() converts to Python floats in one C pass, so the
+            # per-draw path below never touches numpy scalars.
+            buf = self.distribution.sample_many(rng, self.batch_size).tolist()
+            self._buffer = buf
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
 
 
 class Exponential(Distribution):

@@ -21,7 +21,13 @@ from .rewards import ImpulseReward, RateReward
 from .simulation import RunResult, Simulator
 from .trace import BinaryTrace, EventTrace
 
-__all__ = ["Estimate", "ExperimentResult", "replicate_runs", "MetricFn"]
+__all__ = [
+    "Estimate",
+    "ExperimentResult",
+    "replicate_runs",
+    "build_metrics",
+    "MetricFn",
+]
 
 MetricFn = Callable[[RunResult], float]
 
@@ -145,6 +151,28 @@ def _default_metrics(
     return metrics
 
 
+def build_metrics(
+    rewards: Sequence[RateReward | ImpulseReward],
+    extra_metrics: Mapping[str, MetricFn] | None = None,
+) -> dict[str, MetricFn]:
+    """Full metric table for a replication study.
+
+    Default metrics are derived from the rewards (time average for rate
+    rewards, sum and per-hour rate for impulse rewards) and merged with
+    ``extra_metrics``.  Used identically by the serial path and by
+    parallel workers, so metric values cannot diverge between modes.
+    """
+    metrics = _default_metrics(rewards)
+    if extra_metrics:
+        overlap = set(metrics) & set(extra_metrics)
+        if overlap:
+            raise SimulationError(f"extra metrics shadow defaults: {sorted(overlap)}")
+        metrics.update(extra_metrics)
+    if not metrics:
+        raise SimulationError("experiment defines no metrics")
+    return metrics
+
+
 def replicate_runs(
     simulator: Simulator,
     until: float,
@@ -156,6 +184,8 @@ def replicate_runs(
     extra_metrics: Mapping[str, MetricFn] | None = None,
     confidence: float = 0.95,
     on_result: Callable[[int, RunResult], None] | None = None,
+    n_jobs: int | None = 1,
+    spec: "ReplicationSpec | None" = None,
 ) -> ExperimentResult:
     """Run independent replications and summarize metrics with CIs.
 
@@ -178,20 +208,55 @@ def replicate_runs(
         Additional ``name -> f(RunResult)`` scalars to collect.
     on_result:
         Callback invoked with ``(replication_index, RunResult)``, useful for
-        harvesting traces or logging progress.
+        harvesting traces or logging progress.  Serial mode only.
+    n_jobs:
+        Number of worker processes (1 = serial, -1 = all cores).  Because
+        replication ``k`` always uses the seed-tree stream ``k``, the
+        returned samples are bit-identical for every ``n_jobs`` value.
+    spec:
+        Optional :class:`~repro.core.parallel.ReplicationSpec` letting
+        workers rebuild the model from a picklable recipe (required on
+        platforms without the ``fork`` start method; it must describe the
+        same study as ``simulator``/``rewards``).
     """
     if n_replications < 1:
         raise SimulationError(f"n_replications must be >= 1, got {n_replications}")
-    metrics = _default_metrics(rewards)
-    if extra_metrics:
-        overlap = set(metrics) & set(extra_metrics)
-        if overlap:
-            raise SimulationError(f"extra metrics shadow defaults: {sorted(overlap)}")
-        metrics.update(extra_metrics)
-    if not metrics:
-        raise SimulationError("experiment defines no metrics")
+    metrics = build_metrics(rewards, extra_metrics)
 
-    samples: dict[str, list[float]] = {name: [] for name in metrics}
+    from .parallel import (
+        ReplicationSetup,
+        resolve_n_jobs,
+        run_replications_parallel,
+    )
+
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs > 1:
+        if on_result is not None:
+            raise SimulationError(
+                "on_result callbacks require serial execution (n_jobs=1): "
+                "RunResult objects do not cross process boundaries"
+            )
+        setup = (
+            None
+            if spec is not None
+            else ReplicationSetup(simulator, rewards, traces_factory, extra_metrics)
+        )
+        samples = run_replications_parallel(
+            until=until,
+            warmup=warmup,
+            base_seed=simulator.base_seed,
+            counter_base=simulator._run_counter,
+            n_replications=n_replications,
+            n_jobs=jobs,
+            spec=spec,
+            setup=setup,
+        )
+        # Keep the local counter in step so a later serial call continues
+        # exactly where a serial-only sequence would have.
+        simulator._run_counter += n_replications
+        return ExperimentResult(samples, until, warmup, confidence)
+
+    samples = {name: [] for name in metrics}
     for k in range(n_replications):
         traces = tuple(traces_factory()) if traces_factory is not None else ()
         result = simulator.run(

@@ -1,0 +1,236 @@
+"""Parallel replication execution across processes.
+
+Replications are embarrassingly parallel: replication ``k`` draws from
+the independent stream ``(base_seed, "run", k)`` of the seed tree
+(:mod:`repro.core.rng`), so results do not depend on *where* or *in what
+order* replications execute.  This module exploits that with a
+:class:`concurrent.futures.ProcessPoolExecutor`: stream ``k`` is always
+assigned to replication ``k`` regardless of worker scheduling, which
+makes the per-metric sample lists **bit-identical to serial execution
+for any number of jobs**.
+
+Two ways to get a model into the workers:
+
+* **Spec mode** — pass a :class:`ReplicationSpec` naming a module-level
+  factory plus picklable arguments; each worker process rebuilds the
+  simulator/rewards/metrics once from the spec (works with any process
+  start method).  :meth:`repro.cfs.cluster.ClusterModel.replication_spec`
+  is the canonical example.
+* **Inherit mode** — no spec: the parent's simulator, reward objects and
+  metric closures are handed to workers through ``fork`` copy-on-write
+  memory (gate functions and reward lambdas are not picklable, so this
+  is the only way to parallelize an ad-hoc model).  Requires a platform
+  with the ``fork`` start method (Linux, macOS with default disabled —
+  a :class:`~repro.core.errors.SimulationError` explains the fallback).
+
+Use via :func:`repro.core.experiment.replicate_runs` with ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .errors import SimulationError
+from .rng import make_generator
+
+__all__ = [
+    "ReplicationSetup",
+    "ReplicationSpec",
+    "resolve_n_jobs",
+    "run_replications_parallel",
+]
+
+
+@dataclass(frozen=True)
+class ReplicationSetup:
+    """Everything a worker needs to execute replications of one study.
+
+    Attributes
+    ----------
+    simulator:
+        A :class:`~repro.core.simulation.Simulator` (its ``base_seed`` and
+        ``sample_batch`` configuration define the study).
+    rewards:
+        Reward observers applied to every replication.
+    traces_factory:
+        Optional factory for per-replication trace observers.
+    extra_metrics:
+        Additional ``name -> f(RunResult)`` scalars.
+    """
+
+    simulator: object
+    rewards: Sequence = ()
+    traces_factory: Callable | None = None
+    extra_metrics: Mapping[str, Callable] | None = None
+
+    def metrics(self) -> dict[str, Callable]:
+        """Full metric table (defaults derived from the rewards)."""
+        from .experiment import build_metrics
+
+        return build_metrics(self.rewards, self.extra_metrics)
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """Picklable recipe for rebuilding a :class:`ReplicationSetup`.
+
+    ``factory`` must be an importable module-level callable returning a
+    :class:`ReplicationSetup`; ``args``/``kwargs`` must be picklable.
+    Each worker process calls ``factory(*args, **kwargs)`` exactly once
+    and reuses the result for all replications it executes.
+    """
+
+    factory: Callable[..., ReplicationSetup]
+    args: tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+
+    def build(self) -> ReplicationSetup:
+        """Materialize the setup (called in the worker process)."""
+        setup = self.factory(*self.args, **dict(self.kwargs))
+        if not isinstance(setup, ReplicationSetup):
+            raise SimulationError(
+                f"replication spec factory {self.factory!r} returned "
+                f"{type(setup).__name__}, expected ReplicationSetup"
+            )
+        return setup
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request (``None``/1 serial, -1 = all cores)."""
+    if n_jobs is None:
+        return 1
+    n = int(n_jobs)
+    if n == -1:
+        return max(os.cpu_count() or 1, 1)
+    if n < 1:
+        raise SimulationError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+# In spec mode the initializer builds the setup from the pickled spec; in
+# inherit mode the parent stores it here *before* forking the pool, and
+# the child reads the copy-on-write global.
+_WORKER_SETUP: ReplicationSetup | None = None
+_WORKER_METRICS: dict[str, Callable] | None = None
+
+
+def _init_worker(spec: ReplicationSpec | None) -> None:
+    global _WORKER_SETUP, _WORKER_METRICS
+    if spec is not None:
+        _WORKER_SETUP = spec.build()
+    if _WORKER_SETUP is None:  # pragma: no cover - defensive
+        raise SimulationError(
+            "worker has no replication setup (no spec given and nothing "
+            "inherited via fork)"
+        )
+    _WORKER_METRICS = _WORKER_SETUP.metrics()
+
+
+def _run_one(task: tuple) -> tuple[int, dict[str, float]]:
+    """Execute replication ``k`` on stream ``(base_seed, 'run', k)``."""
+    base_seed, until, warmup, k = task
+    setup = _WORKER_SETUP
+    metrics = _WORKER_METRICS
+    sim = setup.simulator
+    rng = make_generator(base_seed, "run", k)
+    traces = (
+        tuple(setup.traces_factory())
+        if setup.traces_factory is not None
+        else ()
+    )
+    result = sim.run(
+        until, warmup=warmup, rewards=setup.rewards, traces=traces, rng=rng
+    )
+    return k, {name: float(fn(result)) for name, fn in metrics.items()}
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def run_replications_parallel(
+    *,
+    until: float,
+    warmup: float,
+    base_seed: int,
+    counter_base: int,
+    n_replications: int,
+    n_jobs: int,
+    spec: ReplicationSpec | None = None,
+    setup: ReplicationSetup | None = None,
+) -> dict[str, list[float]]:
+    """Run replications ``counter_base .. counter_base + n - 1`` in a pool.
+
+    Returns per-metric sample lists in replication order — bit-identical
+    to running the same streams serially.  Exactly one of ``spec`` /
+    ``setup`` selects the worker bootstrap mode (``setup`` requires the
+    ``fork`` start method; ``spec`` works everywhere).
+    """
+    if (spec is None) == (setup is None):
+        raise SimulationError("pass exactly one of spec= or setup=")
+
+    if spec is not None:
+        # Spec mode: workers rebuild from the picklable recipe.  Prefer
+        # fork for cheap start-up, fall back to the platform default.
+        ctx = _fork_context() or multiprocessing.get_context()
+        init_arg = spec
+    else:
+        ctx = _fork_context()
+        if ctx is None:
+            raise SimulationError(
+                "parallel replications without a ReplicationSpec require "
+                "the 'fork' start method (model objects hold closures "
+                "that cannot be pickled); build a ReplicationSpec with a "
+                "module-level factory instead"
+            )
+        init_arg = None
+
+    global _WORKER_SETUP
+    if setup is not None:
+        _WORKER_SETUP = setup  # inherited by forked workers
+
+    n_jobs = min(n_jobs, n_replications)
+    ks = range(counter_base, counter_base + n_replications)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_jobs,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(init_arg,),
+        ) as pool:
+            results = list(
+                pool.map(
+                    _run_one,
+                    [(base_seed, until, warmup, k) for k in ks],
+                    chunksize=max(1, n_replications // (n_jobs * 4)),
+                )
+            )
+    finally:
+        _WORKER_SETUP = None
+
+    results.sort(key=lambda item: item[0])
+    samples: dict[str, list[float]] = {}
+    for k, metric_values in results:
+        if not samples:
+            samples = {name: [] for name in metric_values}
+        if set(metric_values) != set(samples):
+            raise SimulationError(
+                "workers returned inconsistent metric sets "
+                f"({sorted(metric_values)} vs {sorted(samples)})"
+            )
+        for name, value in metric_values.items():
+            samples[name].append(value)
+    return samples

@@ -83,16 +83,22 @@ class MarkingVector:
         return changed
 
     def begin_tracking(self) -> None:
-        """Start recording read slots into ``reads``."""
-        self.reads = set()
+        """Start recording read slots into ``reads``.
+
+        The ``reads`` set object is reused (cleared, not reallocated) so
+        views and the simulator can hold direct references to it.
+        """
+        self.reads.clear()
         self.tracking = True
 
     def end_tracking(self) -> set[int]:
-        """Stop recording reads and return the recorded slot set."""
+        """Stop recording reads and return the recorded slot set.
+
+        The returned set is the live scratch buffer: it is only valid
+        until the next :meth:`begin_tracking`; copy it to keep it.
+        """
         self.tracking = False
-        reads = self.reads
-        self.reads = set()
-        return reads
+        return self.reads
 
     def __len__(self) -> int:
         return len(self.values)
@@ -115,11 +121,25 @@ class LocalView:
     loud failures rather than silently corrupt markings.
     """
 
-    __slots__ = ("_vector", "_index")
+    __slots__ = ("_vector", "_index", "_values", "_known")
 
-    def __init__(self, vector: MarkingVector, index: Mapping[str, int]) -> None:
+    def __init__(
+        self,
+        vector: MarkingVector,
+        index: Mapping[str, int],
+        known: set[int] | None = None,
+    ) -> None:
         self._vector = vector
         self._index = index
+        # The values list identity is stable (reset() assigns in place),
+        # so caching the reference saves an attribute hop per access.
+        self._values = vector.values
+        # Optional filter for read tracking: slots already present in
+        # ``known`` are not re-recorded into ``vector.reads``.  The
+        # simulator binds each activity's discovered-dependency set here,
+        # so once discovery converges, tracked evaluations leave ``reads``
+        # empty and dependency registration short-circuits.
+        self._known = known
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -142,33 +162,35 @@ class LocalView:
         return iter(self._index)
 
     def __getitem__(self, name: str) -> int:
-        vec = self._vector
         try:
             slot = self._index[name]
         except KeyError:
             raise SimulationError(
                 f"unknown place {name!r}; visible places: {sorted(self._index)}"
             ) from None
+        vec = self._vector
         if vec.tracking:
-            vec.reads.add(slot)
-        return vec.values[slot]
+            known = self._known
+            if known is None or slot not in known:
+                vec.reads.add(slot)
+        return self._values[slot]
 
     def __setitem__(self, name: str, value: int) -> None:
-        vec = self._vector
         try:
             slot = self._index[name]
         except KeyError:
             raise SimulationError(
                 f"unknown place {name!r}; visible places: {sorted(self._index)}"
             ) from None
-        ivalue = int(value)
+        ivalue = value if type(value) is int else int(value)
         if ivalue < 0:
             raise SimulationError(
                 f"attempt to set place {name!r} to negative value {value!r}"
             )
-        if vec.values[slot] != ivalue:
-            vec.values[slot] = ivalue
-            vec.changed.add(slot)
+        values = self._values
+        if values[slot] != ivalue:
+            values[slot] = ivalue
+            self._vector.changed.add(slot)
 
     def get(self, name: str, default: int | None = None) -> int | None:
         """Mapping-style ``get`` with optional default."""

@@ -18,6 +18,26 @@ only when one of those slots changes.  This makes large replicated models
 places and therefore re-evaluates a few activities, independent of model
 size.
 
+Hot-path design (see ``docs/performance.md`` for measurements):
+
+* the model is *compiled* once per simulator: enabling predicates, gate
+  functions, case tables and delay samplers are pre-resolved into flat
+  per-activity arrays, and the slot → activity dependency map is a flat
+  list-of-lists indexed by slot;
+* per-event bookkeeping uses epoch-stamped integer scratch buffers and a
+  reusable dirty list instead of freshly allocated sets; dirty activities
+  settle in ascending activity-id order (the canonical deterministic
+  order, which reproduces the pre-compiled engine's trajectories
+  bit-for-bit — pinned by ``tests/test_engine_golden.py``);
+* the initially enabled activity set is pre-computed at compile time
+  (the initial marking never varies across runs), and each event's newest
+  activation is merged into the pending-event heap with a single
+  ``heappushpop`` sift;
+* delay draws are served from vectorized per-distribution blocks
+  (see :class:`~repro.core.distributions.BatchedSampler`) by default;
+  pass ``sample_batch=None`` for per-draw sampling, which consumes the
+  RNG stream exactly like the pre-optimization engine.
+
 Reward variables (:mod:`repro.core.rewards`) and traces
 (:mod:`repro.core.trace`) are observed with the same dependency machinery.
 """
@@ -26,20 +46,42 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from .composition import FlatModel
-from .distributions import Distribution
+from .distributions import (
+    BatchedSampler,
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Uniform,
+    Weibull,
+)
 from .errors import InstantaneousLoopError, SimulationError
-from .places import LocalView, MarkingVector
+from .gates import _noop
+from .places import LocalView
 from .rewards import ImpulseReward, RateReward, RewardResult
 from .rng import make_generator
 from .san import INSTANT, TIMED
 from .trace import BinaryTrace, EventTrace
 
 __all__ = ["Simulator", "RunResult"]
+
+#: Laws whose ``sample_many`` is a single vectorized generator call; only
+#: these are worth serving from blocks (for the rest, batching would just
+#: run the scalar path eagerly and waste draws).  Exact types only: a
+#: subclass may override ``sample`` and must keep per-draw semantics.
+_BATCHABLE_LAWS = frozenset(
+    {Exponential, Uniform, Weibull, Gamma, Erlang, LogNormal}
+)
+
+#: Default block size for batched delay draws.
+DEFAULT_SAMPLE_BATCH = 256
 
 
 @dataclass
@@ -83,12 +125,90 @@ class RunResult:
             ) from None
 
 
+class _Compiled:
+    """Per-activity tables pre-resolved against the shared marking vector.
+
+    Built once per simulator and reused by every run: the model structure
+    is immutable, so predicates, gate functions, case tables and samplers
+    never change — only the marking does.
+    """
+
+    __slots__ = (
+        "vector",
+        "views",
+        "gview",
+        "preds",
+        "ig_fns",
+        "og_fns",
+        "case_tab",
+        "plain1",
+        "samplers",
+        "dyn_dists",
+        "is_timed",
+        "reactivate",
+        "paths",
+        "batched",
+        "init_timed",
+        "init_instants",
+    )
+
+
+def _compose_predicates(gates) -> Callable[[LocalView], bool]:
+    preds = tuple(g.predicate for g in gates)
+
+    def composed(m, _preds=preds):
+        for p in _preds:
+            if not p(m):
+                return False
+        return True
+
+    return composed
+
+
+def _make_const_sampler(value: float) -> Callable:
+    def sample(rng, _v=value):
+        return _v
+
+    return sample
+
+
+def _make_exponential_sampler(dist: Exponential) -> Callable:
+    scale = 1.0 / dist.rate
+
+    def sample(rng, _scale=scale):
+        return float(rng.exponential(_scale))
+
+    return sample
+
+
+def _make_checked_sampler(dist: Distribution, path: str) -> Callable:
+    """Per-draw sampling through ``dist.sample`` with delay validation.
+
+    Builtin-law fast samplers cannot produce invalid delays (parameters
+    are validated at construction), so only this generic path checks.
+    """
+
+    inner = dist.sample
+
+    def sample(rng):
+        delay = inner(rng)
+        if not delay >= 0.0:  # also catches NaN
+            raise SimulationError(
+                f"activity {path!r} sampled invalid delay {delay!r}"
+            )
+        return delay
+
+    return sample
+
+
 class Simulator:
     """Executes runs of a :class:`~repro.core.composition.FlatModel`.
 
     The simulator is reusable: dependency maps discovered during one run
     carry over to the next (they are conservative supersets, so correctness
-    is unaffected and later runs start warm).
+    is unaffected and later runs start warm).  A simulator instance is not
+    re-entrant: it owns one marking vector, so at most one :meth:`run` may
+    be in flight per instance (use one simulator per process/thread).
 
     Parameters
     ----------
@@ -100,34 +220,88 @@ class Simulator:
     max_instant_chain:
         Fixpoint guard: maximum zero-time firings at a single instant before
         :class:`~repro.core.errors.InstantaneousLoopError` is raised.
+    sample_batch:
+        Block size for vectorized delay draws (default
+        :data:`DEFAULT_SAMPLE_BATCH`); one block per distinct distribution
+        object.  ``None`` selects per-draw sampling, which consumes the RNG
+        stream one variate at a time exactly like the pre-optimization
+        engine (use it to reproduce historical trajectories).  Both modes
+        are fully deterministic for a fixed seed, but they follow
+        different (equally valid) trajectories because blocks consume the
+        stream ahead of time.
     """
 
     def __init__(
-        self, model: FlatModel, base_seed: int = 0, max_instant_chain: int = 100_000
+        self,
+        model: FlatModel,
+        base_seed: int = 0,
+        max_instant_chain: int = 100_000,
+        sample_batch: int | None = DEFAULT_SAMPLE_BATCH,
     ) -> None:
         self.model = model
         self.base_seed = int(base_seed)
         self.max_instant_chain = int(max_instant_chain)
+        self.sample_batch = None if sample_batch is None else int(sample_batch)
+        if self.sample_batch is not None and self.sample_batch < 1:
+            raise SimulationError(
+                f"sample_batch must be >= 1 or None, got {sample_batch}"
+            )
         self._run_counter = 0
 
         acts = model.activities
         self._n_acts = len(acts)
         self._timed_ids = [a.ident for a in acts if a.definition.kind == TIMED]
         self._instant_ids = [a.ident for a in acts if a.definition.kind == INSTANT]
+        self._priorities = [a.definition.priority for a in acts]
         # place slot -> activity ids whose enabling may depend on it
-        self._dep_map: dict[int, set[int]] = {}
+        # (flat list-of-lists; each inner list is deduplicated because ids
+        # are appended only when first discovered via _act_deps).
+        self._dep_lists: list[list[int]] = [[] for _ in range(model.n_places)]
         self._act_deps: list[set[int]] = [set() for _ in range(self._n_acts)]
-        # cache: impulse/trace pattern string -> matching activity ids
+        # (aid, slot) dependencies discovered after compile time.  They
+        # are rolled back at the start of the next run so that every run
+        # starts from the same (compile-time) dependency state: a run's
+        # trajectory is then a pure function of (model, stream), never of
+        # how many runs warmed this simulator before it.  Without this,
+        # reactivate=True activities — which resample whenever a dirty
+        # wake-up finds them enabled — could fire off extra draws on
+        # warm simulators only, breaking serial/parallel bit-equality.
+        self._dep_journal: list[tuple[int, int]] = []
+        # cache: impulse/trace pattern -> matching activity ids.  String
+        # patterns are keyed by value; callable patterns by object identity
+        # (the stored strong reference keeps id() values from being
+        # recycled and guards against hash collisions after collection).
         self._pattern_cache: dict[str, list[int]] = {}
+        self._callable_pattern_cache: dict[int, tuple[object, list[int]]] = {}
+        self._compiled: _Compiled | None = None
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _reset_discovered_deps(self) -> None:
+        """Roll dependency state back to the compile-time baseline.
+
+        Post-compile discoveries only ever append, so removal restores
+        the exact baseline; the sets mutate in place because each
+        activity's view holds a direct reference to its known-set.
+        """
+        for aid, slot in self._dep_journal:
+            self._act_deps[aid].discard(slot)
+            self._dep_lists[slot].remove(aid)
+        self._dep_journal.clear()
+
     def _matching_ids(self, pattern: str | Callable[[str], bool]) -> list[int]:
         if callable(pattern):
-            return [
-                a.ident for a in self.model.activities if pattern(a.path)
-            ]
+            entry = self._callable_pattern_cache.get(id(pattern))
+            if entry is not None and entry[0] is pattern:
+                return entry[1]
+            ids = [a.ident for a in self.model.activities if pattern(a.path)]
+            if len(self._callable_pattern_cache) >= 256:
+                # Callers constructing a fresh callable per run would
+                # otherwise grow the cache (and pin the callables) forever.
+                self._callable_pattern_cache.clear()
+            self._callable_pattern_cache[id(pattern)] = (pattern, ids)
+            return ids
         cached = self._pattern_cache.get(pattern)
         if cached is None:
             from .patterns import path_match
@@ -140,14 +314,134 @@ class Simulator:
             self._pattern_cache[pattern] = cached
         return cached
 
-    def _register_deps(self, aid: int, reads: set[int]) -> None:
-        known = self._act_deps[aid]
-        new = reads - known
-        if new:
-            known |= new
-            dep_map = self._dep_map
-            for slot in new:
-                dep_map.setdefault(slot, set()).add(aid)
+    def _compile(self) -> _Compiled:
+        """Pre-resolve every activity against the shared marking vector."""
+        model = self.model
+        c = _Compiled()
+        c.vector = model.new_marking()
+        # Each activity's view filters read tracking through its known
+        # dependency set: converged activities record nothing.
+        c.views = [
+            LocalView(c.vector, act.index, self._act_deps[act.ident])
+            for act in model.activities
+        ]
+        c.gview = model.global_view(c.vector)
+        c.paths = [act.path for act in model.activities]
+        c.batched = []
+
+        n = self._n_acts
+        c.preds = [None] * n
+        c.ig_fns = [()] * n
+        c.og_fns = [()] * n
+        # case_tab[aid]: None (no cases), (bounds, None) for static
+        # probabilities, or (None, cases) for marking-dependent ones.
+        c.case_tab = [None] * n
+        # plain1[aid]: the single output-gate function when the activity
+        # has no input-gate functions, no cases, and exactly one output
+        # gate — the dominant shape; lets the hot loop fire it with one
+        # load and one call.
+        c.plain1 = [None] * n
+        c.samplers = [None] * n
+        c.dyn_dists = [None] * n
+        c.is_timed = [False] * n
+        c.reactivate = [False] * n
+
+        batched_by_dist: dict[int, BatchedSampler] = {}
+        for act in model.activities:
+            aid = act.ident
+            d = act.definition
+            c.is_timed[aid] = d.kind == TIMED
+            c.reactivate[aid] = d.reactivate
+
+            gates = d.input_gates
+            c.preds[aid] = (
+                gates[0].predicate if len(gates) == 1 else _compose_predicates(gates)
+            )
+            c.ig_fns[aid] = tuple(
+                g.function for g in gates if g.function is not _noop
+            )
+            c.og_fns[aid] = tuple(og.function for og in d.output_gates)
+            if not c.ig_fns[aid] and not d.cases and len(c.og_fns[aid]) == 1:
+                c.plain1[aid] = c.og_fns[aid][0]
+
+            if d.cases:
+                if any(callable(case.probability) for case in d.cases):
+                    c.case_tab[aid] = (None, d.cases)
+                else:
+                    # Left-to-right partial sums, exactly as the firing-time
+                    # accumulation computes them, so the selection
+                    # thresholds are bit-identical to per-firing evaluation.
+                    acc = 0.0
+                    for case in d.cases:
+                        acc += float(case.probability)
+                    if not (abs(acc - 1.0) <= 1e-9):
+                        raise SimulationError(
+                            f"activity {act.path!r}: case probabilities "
+                            f"sum to {acc}"
+                        )
+                    acc = 0.0
+                    bounds: list[tuple[float, Callable]] = []
+                    for case in d.cases:
+                        acc += float(case.probability)
+                        bounds.append((acc, case.function))
+                    c.case_tab[aid] = (tuple(bounds), None)
+
+            if d.kind == TIMED:
+                dist = d.distribution
+                # Exact-type checks: a Distribution subclass may override
+                # sample(), so only the builtin laws take the fast lanes.
+                if type(dist) is Deterministic:
+                    c.samplers[aid] = _make_const_sampler(dist.value)
+                elif isinstance(dist, Distribution):
+                    if (
+                        self.sample_batch is not None
+                        and type(dist) in _BATCHABLE_LAWS
+                    ):
+                        sampler = batched_by_dist.get(id(dist))
+                        if sampler is None:
+                            sampler = BatchedSampler(dist, self.sample_batch)
+                            batched_by_dist[id(dist)] = sampler
+                            c.batched.append(sampler.reset)
+                        c.samplers[aid] = sampler.sample
+                    elif type(dist) is Exponential:
+                        c.samplers[aid] = _make_exponential_sampler(dist)
+                    else:
+                        c.samplers[aid] = _make_checked_sampler(dist, act.path)
+                else:
+                    c.dyn_dists[aid] = dist
+
+        # Pre-evaluate every enabling predicate on the initial marking:
+        # the initial marking is identical for every run, so the set of
+        # initially enabled activities (and their discovered read
+        # dependencies) can be computed once.  Predicates must be pure
+        # functions of the marking (SAN semantics).
+        vec = c.vector
+        act_deps = self._act_deps
+        dep_lists = self._dep_lists
+        c.init_timed = []
+        c.init_instants = []
+        for act in model.activities:
+            aid = act.ident
+            vec.tracking = True
+            vec.reads.clear()
+            try:
+                en = c.preds[aid](c.views[aid])
+            finally:
+                vec.tracking = False
+            reads = vec.reads
+            if reads:
+                known = act_deps[aid]
+                for slot in reads:
+                    if slot not in known:
+                        known.add(slot)
+                        dep_lists[slot].append(aid)
+            if c.is_timed[aid]:
+                if en:
+                    c.init_timed.append(aid)
+            else:
+                c.init_instants.append((aid, bool(en)))
+        vec.reset(model.initial)
+        return c
 
     # ------------------------------------------------------------------
     # main entry point
@@ -189,26 +483,67 @@ class Simulator:
             )
         if rng is None:
             if seed is None:
-                seed_path: tuple = ("run", self._run_counter)
-                rng = make_generator(self.base_seed, *seed_path)
+                rng = make_generator(self.base_seed, "run", self._run_counter)
             else:
                 rng = make_generator(int(seed))
         self._run_counter += 1
 
+        c = self._compiled
+        if c is None:
+            c = self._compiled = self._compile()
+        if self._dep_journal:
+            self._reset_discovered_deps()
         model = self.model
-        vector = model.new_marking()
-        views = [
-            LocalView(vector, act.index) for act in model.activities
-        ]
-        gview = model.global_view(vector)
-        defs = [act.definition for act in model.activities]
+        vector = c.vector
+        vector.reset(model.initial)
+        for reset_sampler in c.batched:
+            reset_sampler()
 
-        token = [0] * self._n_acts
-        active = [False] * self._n_acts  # timed activity has a live event
-        heap: list[tuple[float, int, int, int]] = []
+        # Local aliases: everything the event loop touches is a local.
+        values = vector.values
+        changed = vector.changed
+        reads = vector.reads
+        views = c.views
+        gview = c.gview
+        preds = c.preds
+        ig_fns = c.ig_fns
+        og_fns = c.og_fns
+        case_tab = c.case_tab
+        plain1 = c.plain1
+        samplers = c.samplers
+        dyn_dists = c.dyn_dists
+        is_timed = c.is_timed
+        reactivate = c.reactivate
+        act_paths = c.paths
+        act_deps = self._act_deps
+        dep_lists = self._dep_lists
+        dep_journal = self._dep_journal
+        instant_ids = self._instant_ids
+        priorities = self._priorities
+        has_instants = bool(instant_ids)
+        max_chain = self.max_instant_chain
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        rng_uniform = rng.uniform
+
+        n_acts = self._n_acts
+        # token parity encodes liveness: odd = activity has a live event.
+        # Completion and deactivation both bump the token, so a heap
+        # entry's token mismatching the current one marks it stale.
+        token = [0] * n_acts
+        enabled_instant = [False] * n_acts
+        n_inst_enabled = 0
+        stamp = [0] * n_acts  # epoch marks for dirty-list dedup
+        epoch = 0
+        heap: list[tuple[float, int, int, int]] = []  # (time, seq, aid, token)
         seq = 0
         now = 0.0
         n_events = 0
+
+        # uniform block for case selection (batched mode only)
+        u_batch = self.sample_batch
+        u_buf: np.ndarray | None = None
+        u_pos = 0
 
         # -- reward / trace wiring ------------------------------------
         rate_rewards: list[RateReward] = []
@@ -246,7 +581,8 @@ class Simulator:
             else:
                 raise SimulationError(f"unsupported trace object: {tr!r}")
 
-        impulse_by_act: dict[int, list[ImpulseReward]] = {}
+        # Per-activity observer tables (None when nothing observes the act).
+        impulse_by_act: list[list | None] = [None] * n_acts
         for r in impulse_rewards:
             ids = self._matching_ids(r.activity_pattern)
             if not ids:
@@ -254,9 +590,17 @@ class Simulator:
                     f"impulse reward {r.name!r} matches no activity "
                     f"(pattern {r.activity_pattern!r})"
                 )
+            entry = (
+                (results[r.name], None, r.value)
+                if callable(r.value)
+                else (results[r.name], float(r.value), None)
+            )
             for aid in ids:
-                impulse_by_act.setdefault(aid, []).append(r)
-        etrace_by_act: dict[int, list[EventTrace]] = {}
+                lst = impulse_by_act[aid]
+                if lst is None:
+                    lst = impulse_by_act[aid] = []
+                lst.append(entry)
+        etrace_by_act: list[list[EventTrace] | None] = [None] * n_acts
         for tr in event_traces:
             ids = self._matching_ids(tr.activity_pattern)
             if not ids:
@@ -265,238 +609,433 @@ class Simulator:
                     f"(pattern {tr.activity_pattern!r})"
                 )
             for aid in ids:
-                etrace_by_act.setdefault(aid, []).append(tr)
+                lst = etrace_by_act[aid]
+                if lst is None:
+                    lst = etrace_by_act[aid] = []
+                lst.append(tr)
+        has_observers = bool(impulse_rewards or event_traces)
 
-        # rate-reward incremental state
+        # rate-reward / binary-trace incremental state (slot -> observer
+        # indices as sparse dict-of-lists; observers are few, slots many)
         rate_values: list[float] = [0.0] * len(rate_rewards)
-        rate_deps: dict[int, set[int]] = {}
+        rate_deps: dict[int, list[int]] = {}
         rate_dep_sets: list[set[int]] = [set() for _ in rate_rewards]
         btrace_values: list[bool] = [False] * len(binary_traces)
-        btrace_deps: dict[int, set[int]] = {}
+        btrace_deps: dict[int, list[int]] = {}
         btrace_dep_sets: list[set[int]] = [set() for _ in binary_traces]
+        has_rates = bool(rate_rewards)
+        has_watch = bool(rate_rewards or binary_traces)
+        touched_rewards: set[int] = set()
+        touched_traces: set[int] = set()
 
         def eval_rate(i: int) -> float:
-            vector.begin_tracking()
+            vector.tracking = True
+            reads.clear()
             try:
                 val = float(rate_rewards[i].function(gview))
             finally:
-                reads = vector.end_tracking()
-            new = reads - rate_dep_sets[i]
-            if new:
-                rate_dep_sets[i] |= new
-                for slot in new:
-                    rate_deps.setdefault(slot, set()).add(i)
+                vector.tracking = False
+            known = rate_dep_sets[i]
+            if not reads <= known:
+                for slot in reads:
+                    if slot not in known:
+                        known.add(slot)
+                        rate_deps.setdefault(slot, []).append(i)
             return val
 
         def eval_btrace(i: int) -> bool:
-            vector.begin_tracking()
+            vector.tracking = True
+            reads.clear()
             try:
                 val = bool(binary_traces[i].function(gview))
             finally:
-                reads = vector.end_tracking()
-            new = reads - btrace_dep_sets[i]
-            if new:
-                btrace_dep_sets[i] |= new
-                for slot in new:
-                    btrace_deps.setdefault(slot, set()).add(i)
+                vector.tracking = False
+            known = btrace_dep_sets[i]
+            if not reads <= known:
+                for slot in reads:
+                    if slot not in known:
+                        known.add(slot)
+                        btrace_deps.setdefault(slot, []).append(i)
             return val
 
-        # -- enabling machinery ----------------------------------------
-        def eval_enabled(aid: int) -> bool:
-            vector.begin_tracking()
+        # -- delay sampling (rare paths) -------------------------------
+        def dyn_sample(aid: int) -> float:
+            """Marking-dependent distribution: evaluate under tracking."""
+            vector.tracking = True
+            reads.clear()
             try:
-                val = defs[aid].is_enabled(views[aid])
+                dist = dyn_dists[aid](views[aid])
             finally:
-                reads = vector.end_tracking()
-            self._register_deps(aid, reads)
-            return val
-
-        def sample_delay(aid: int) -> float:
-            dist = defs[aid].distribution
+                vector.tracking = False
+            if reads:
+                known = act_deps[aid]
+                for slot in reads:
+                    if slot not in known:
+                        known.add(slot)
+                        dep_lists[slot].append(aid)
+                        dep_journal.append((aid, slot))
             if not isinstance(dist, Distribution):
-                vector.begin_tracking()
-                try:
-                    dist = dist(views[aid])
-                finally:
-                    reads = vector.end_tracking()
-                self._register_deps(aid, reads)
-                if not isinstance(dist, Distribution):
-                    raise SimulationError(
-                        f"activity {self.model.activities[aid].path!r}: "
-                        "distribution callable did not return a Distribution"
-                    )
-            delay = dist.sample(rng)
-            if delay < 0.0 or np.isnan(delay):
                 raise SimulationError(
-                    f"activity {self.model.activities[aid].path!r} sampled "
-                    f"invalid delay {delay!r}"
+                    f"activity {act_paths[aid]!r}: "
+                    "distribution callable did not return a Distribution"
                 )
-            return float(delay)
+            delay = dist.sample(rng)
+            if not delay >= 0.0:  # also catches NaN
+                raise SimulationError(
+                    f"activity {act_paths[aid]!r} sampled invalid "
+                    f"delay {delay!r}"
+                )
+            return delay
 
-        def activate(aid: int) -> None:
-            nonlocal seq
-            token[aid] += 1
-            active[aid] = True
-            heapq.heappush(heap, (now + sample_delay(aid), seq, aid, token[aid]))
-            seq += 1
-
-        def deactivate(aid: int) -> None:
-            token[aid] += 1
-            active[aid] = False
-
-        def update_timed(aid: int) -> None:
-            enabled_now = eval_enabled(aid)
-            if enabled_now and not active[aid]:
-                activate(aid)
-            elif not enabled_now and active[aid]:
-                deactivate(aid)
-            elif enabled_now and active[aid] and defs[aid].reactivate:
-                deactivate(aid)
-                activate(aid)
-
-        def complete(aid: int) -> set[int]:
-            """Run gate functions and cases; return ids of dirty activities."""
-            nonlocal n_events
-            n_events += 1
-            view = views[aid]
-            d = defs[aid]
-            for ig in d.input_gates:
-                ig.function(view, rng)
-            if d.cases:
-                probs = [c.probability_in(view) for c in d.cases]
+        # -- event execution -------------------------------------------
+        def fire_cases(aid: int, view: LocalView, ct) -> None:
+            """Select and execute one case (consumes exactly one uniform)."""
+            nonlocal u_buf, u_pos
+            if u_batch is None:
+                u = rng_uniform()
+            else:
+                if u_buf is None or u_pos >= u_batch:
+                    u_buf = rng.random(u_batch)
+                    u_pos = 0
+                u = u_buf[u_pos]
+                u_pos += 1
+            bounds, cases = ct
+            if bounds is not None:
+                chosen = bounds[-1][1]
+                for acc, fn in bounds:
+                    if u <= acc:
+                        chosen = fn
+                        break
+                chosen(view, rng)
+            else:
+                probs = [case.probability_in(view) for case in cases]
                 total = sum(probs)
                 if not (abs(total - 1.0) <= 1e-9):
                     raise SimulationError(
-                        f"activity {self.model.activities[aid].path!r}: case "
+                        f"activity {act_paths[aid]!r}: case "
                         f"probabilities sum to {total} at completion"
                     )
-                u = rng.uniform()
                 acc = 0.0
-                chosen = d.cases[-1]
-                for c, p in zip(d.cases, probs):
+                chosen_case = cases[-1]
+                for case, p in zip(cases, probs):
                     acc += p
                     if u <= acc:
-                        chosen = c
+                        chosen_case = case
                         break
-                chosen.function(view, rng)
-            for og in d.output_gates:
-                og.function(view, rng)
+                chosen_case.function(view, rng)
 
-            # Observers (post-state).
-            if now >= warmup:
-                for r in impulse_by_act.get(aid, ()):
-                    value = r.value(gview) if callable(r.value) else float(r.value)
-                    res = results[r.name]
-                    res.impulse_sum += value
-                    res.count += 1
-            for tr in etrace_by_act.get(aid, ()):
-                tr.record(now, self.model.activities[aid].path, gview)
+        # NOTE: the body of fire() is duplicated inline in the fast event
+        # loop below; keep the two sites in sync.
+        def fire(aid: int) -> None:
+            """Run gate functions and cases; writes land in ``changed``."""
+            nonlocal n_events
+            n_events += 1
+            view = views[aid]
+            for fn in ig_fns[aid]:
+                fn(view, rng)
+            ct = case_tab[aid]
+            if ct is not None:
+                fire_cases(aid, view, ct)
+            for og in og_fns[aid]:
+                og(view, rng)
 
-            changed = vector.drain_changed()
-            all_changed.update(changed)
-            dirty: set[int] = set()
-            dep_map = self._dep_map
-            for slot in changed:
-                deps = dep_map.get(slot)
-                if deps:
-                    dirty |= deps
-            return dirty
+            if has_observers:
+                if now >= warmup:
+                    obs = impulse_by_act[aid]
+                    if obs is not None:
+                        for res, static, fn in obs:
+                            res.impulse_sum += (
+                                static if fn is None else fn(gview)
+                            )
+                            res.count += 1
+                etr = etrace_by_act[aid]
+                if etr is not None:
+                    path = act_paths[aid]
+                    for tr in etr:
+                        tr.record(now, path, gview)
 
-        def settle(initial_dirty: set[int], pending_instants: set[int]) -> None:
-            """Update timed enabling and run the instantaneous fixpoint."""
-            dirty = initial_dirty
+        def update_timed(aid: int, en: bool) -> None:
+            """Apply an enabling-state change to a timed activity."""
+            nonlocal seq
+            tok = token[aid]
+            if en:
+                if not tok & 1:
+                    tok += 1
+                elif reactivate[aid]:
+                    tok += 2
+                else:
+                    return
+                token[aid] = tok
+                sampler = samplers[aid]
+                delay = sampler(rng) if sampler is not None else dyn_sample(aid)
+                heappush(heap, (now + delay, seq, aid, tok))
+                seq += 1
+            elif tok & 1:
+                token[aid] = tok + 1
+
+        def settle(dirty: list[int]) -> None:
+            """Update timed enabling and run the instantaneous fixpoint.
+
+            ``dirty`` holds unique activity ids; they are processed in
+            ascending id order (the canonical deterministic order).
+            """
+            nonlocal epoch, n_inst_enabled
             chain = 0
             while True:
+                dirty.sort()
                 for aid in dirty:
-                    if defs[aid].kind == TIMED:
-                        update_timed(aid)
-                    else:
-                        pending_instants.add(aid)
-                dirty = set()
-                fired = False
-                # Highest priority first; ties broken by definition order.
-                best: tuple[int, int] | None = None
-                for aid in pending_instants:
-                    if eval_enabled(aid):
-                        key = (-defs[aid].priority, aid)
-                        if best is None or key < best:
-                            best = key
-                if best is not None:
-                    aid = best[1]
-                    chain += 1
-                    if chain > self.max_instant_chain:
-                        raise InstantaneousLoopError(
-                            f"more than {self.max_instant_chain} instantaneous "
-                            f"firings at t={now}; last activity "
-                            f"{self.model.activities[aid].path!r}"
-                        )
-                    dirty = complete(aid)
-                    fired = True
-                if not fired:
-                    break
+                    vector.tracking = True
+                    if reads:
+                        reads.clear()
+                    try:
+                        en = preds[aid](views[aid])
+                    finally:
+                        vector.tracking = False
+                    if reads:
+                        known = act_deps[aid]
+                        for slot in reads:
+                            if slot not in known:
+                                known.add(slot)
+                                dep_lists[slot].append(aid)
+                                dep_journal.append((aid, slot))
+                    if is_timed[aid]:
+                        update_timed(aid, en)
+                    elif en != enabled_instant[aid]:
+                        enabled_instant[aid] = en
+                        n_inst_enabled += 1 if en else -1
+                del dirty[:]
+
+                if not n_inst_enabled:
+                    return
+                # highest priority first; ties broken by definition order
+                best = -1
+                best_pri = 0
+                for iid in instant_ids:
+                    if enabled_instant[iid]:
+                        pri = priorities[iid]
+                        if best < 0 or pri > best_pri:
+                            best = iid
+                            best_pri = pri
+                chain += 1
+                if chain > max_chain:
+                    raise InstantaneousLoopError(
+                        f"more than {max_chain} instantaneous firings at "
+                        f"t={now}; last activity {act_paths[best]!r}"
+                    )
+                fire(best)
+                epoch += 1
+                for slot in changed:
+                    if has_watch:
+                        rlist = rate_deps.get(slot)
+                        if rlist is not None:
+                            touched_rewards.update(rlist)
+                        tlist = btrace_deps.get(slot)
+                        if tlist is not None:
+                            touched_traces.update(tlist)
+                    for d in dep_lists[slot]:
+                        if stamp[d] != epoch:
+                            stamp[d] = epoch
+                            dirty.append(d)
+                changed.clear()
 
         # -- initialization at t = 0 -----------------------------------
-        all_changed: set[int] = set()
-        for aid in self._timed_ids:
-            if eval_enabled(aid):
-                activate(aid)
-        settle(set(), set(self._instant_ids))
+        # The initially enabled activities were pre-computed at compile
+        # time (the initial marking is the same for every run); only the
+        # delay draws and the instantaneous fixpoint are per-run work.
+        for aid in c.init_timed:
+            update_timed(aid, True)
+        if has_instants:
+            for aid, en in c.init_instants:
+                enabled_instant[aid] = en
+                if en:
+                    n_inst_enabled += 1
+            settle([])
+            touched_rewards.clear()
+            touched_traces.clear()
 
         for i in range(len(rate_rewards)):
             rate_values[i] = eval_rate(i)
         for i, tr in enumerate(binary_traces):
             btrace_values[i] = eval_btrace(i)
             tr.observe(0.0, btrace_values[i])
-        all_changed.clear()
 
         last_t = 0.0
         stopped_early = False
 
         def integrate_to(t: float) -> None:
             nonlocal last_t
-            a = max(last_t, warmup)
-            b = min(t, until)
+            a = last_t if last_t > warmup else warmup
+            b = t if t < until else until
             if b > a:
+                span = b - a
                 for i, val in enumerate(rate_values):
                     if val != 0.0:
-                        results[rate_rewards[i].name].integral += val * (b - a)
+                        results[rate_rewards[i].name].integral += val * span
             last_t = t
 
         # -- event loop --------------------------------------------------
-        while heap:
-            ftime, _s, aid, tok = heapq.heappop(heap)
-            if tok != token[aid] or not active[aid]:
-                continue
-            if ftime > until:
-                break
-            integrate_to(ftime)
-            now = ftime
-            active[aid] = False
-            token[aid] += 1
+        # A completed event's token always mismatches (completion and
+        # deactivation both bump it), so the token check alone detects
+        # stale heap entries.
+        dirty: list[int] = []
+        has_stop = stop_predicate is not None
+        slow_event = has_instants or has_watch or has_stop
+        if slow_event:
+            while heap:
+                ftime, _s, aid, tok = heappop(heap)
+                if tok != token[aid]:
+                    continue
+                if ftime > until:
+                    break
+                if has_rates:
+                    integrate_to(ftime)
+                now = ftime
+                token[aid] += 1
 
-            dirty = complete(aid)
-            dirty.add(aid)  # the fired activity may re-enable itself
-            settle(dirty, set())
+                fire(aid)
+                epoch += 1
+                # the fired activity may re-enable itself
+                stamp[aid] = epoch
+                dirty.append(aid)
+                for slot in changed:
+                    if has_watch:
+                        rlist = rate_deps.get(slot)
+                        if rlist is not None:
+                            touched_rewards.update(rlist)
+                        tlist = btrace_deps.get(slot)
+                        if tlist is not None:
+                            touched_traces.update(tlist)
+                    for d in dep_lists[slot]:
+                        if stamp[d] != epoch:
+                            stamp[d] = epoch
+                            dirty.append(d)
+                changed.clear()
+                settle(dirty)
 
-            # Refresh rate rewards / binary traces whose inputs changed.
-            if all_changed:
-                touched_rewards: set[int] = set()
-                touched_traces: set[int] = set()
-                for slot in all_changed:
-                    touched_rewards |= rate_deps.get(slot, set())
-                    touched_traces |= btrace_deps.get(slot, set())
-                for i in touched_rewards:
-                    rate_values[i] = eval_rate(i)
-                for i in touched_traces:
-                    val = eval_btrace(i)
-                    if val != btrace_values[i]:
-                        btrace_values[i] = val
-                        binary_traces[i].observe(now, val)
-                all_changed.clear()
+                # Refresh rate rewards / binary traces whose inputs changed.
+                if touched_rewards:
+                    for i in touched_rewards:
+                        rate_values[i] = eval_rate(i)
+                    touched_rewards.clear()
+                if touched_traces:
+                    for i in touched_traces:
+                        val = eval_btrace(i)
+                        if val != btrace_values[i]:
+                            btrace_values[i] = val
+                            binary_traces[i].observe(now, val)
+                    touched_traces.clear()
 
-            if stop_predicate is not None and stop_predicate(gview):
-                stopped_early = True
-                break
+                if has_stop and stop_predicate(gview):
+                    stopped_early = True
+                    break
+        else:
+            # Fast path: no instants, no marking observers, no stop
+            # predicate — settle reduces to one pass of timed updates,
+            # fully inlined (mirrors fire() + update_timed(); keep the
+            # sites in sync).  last_t is not maintained: with no rate
+            # rewards the final integrate_to() is a no-op.
+            #
+            # The most recent activation is held in ``pending`` instead of
+            # being pushed immediately: the next loop iteration fetches
+            # min(heap ∪ {pending}) with a single heappushpop sift, which
+            # is what push-then-pop would return, at nearly half the cost.
+            reads_clear = reads.clear
+            changed_pop = changed.pop
+            dirty_clear = dirty.clear
+            heappushpop = heapq.heappushpop
+            pending: tuple[float, int, int, int] | None = None
+            while True:
+                if pending is not None:
+                    ftime, _s, aid, tok = heappushpop(heap, pending)
+                    pending = None
+                elif heap:
+                    ftime, _s, aid, tok = heappop(heap)
+                else:
+                    break
+                if tok != token[aid]:
+                    continue
+                if ftime > until:
+                    break
+                now = ftime
+                token[aid] += 1
+
+                n_events += 1
+                view = views[aid]
+                fn1 = plain1[aid]
+                if fn1 is not None:
+                    fn1(view, rng)
+                else:
+                    igs = ig_fns[aid]
+                    if igs:
+                        for fn in igs:
+                            fn(view, rng)
+                    ct = case_tab[aid]
+                    if ct is not None:
+                        fire_cases(aid, view, ct)
+                    for og in og_fns[aid]:
+                        og(view, rng)
+                if has_observers:
+                    if now >= warmup:
+                        obs = impulse_by_act[aid]
+                        if obs is not None:
+                            for res, static, fn in obs:
+                                res.impulse_sum += (
+                                    static if fn is None else fn(gview)
+                                )
+                                res.count += 1
+                    etr = etrace_by_act[aid]
+                    if etr is not None:
+                        path = act_paths[aid]
+                        for tr in etr:
+                            tr.record(now, path, gview)
+
+                epoch += 1
+                stamp[aid] = epoch
+                dirty.append(aid)
+                while changed:
+                    for d in dep_lists[changed_pop()]:
+                        if stamp[d] != epoch:
+                            stamp[d] = epoch
+                            dirty.append(d)
+                dirty.sort()
+                vector.tracking = True
+                for aid2 in dirty:
+                    if reads:
+                        reads_clear()
+                    en = preds[aid2](views[aid2])
+                    if reads:
+                        known = act_deps[aid2]
+                        for slot in reads:
+                            if slot not in known:
+                                known.add(slot)
+                                dep_lists[slot].append(aid2)
+                                dep_journal.append((aid2, slot))
+                    tok2 = token[aid2]
+                    if en:
+                        if not tok2 & 1:
+                            tok2 += 1
+                        elif reactivate[aid2]:
+                            tok2 += 2
+                        else:
+                            continue
+                        token[aid2] = tok2
+                        sm = samplers[aid2]
+                        if sm is not None:
+                            delay = sm(rng)
+                        else:
+                            vector.tracking = False
+                            delay = dyn_sample(aid2)
+                            vector.tracking = True
+                        if pending is None:
+                            pending = (now + delay, seq, aid2, tok2)
+                        else:
+                            heappush(heap, pending)
+                            pending = (now + delay, seq, aid2, tok2)
+                        seq += 1
+                    elif tok2 & 1:
+                        token[aid2] = tok2 + 1
+                vector.tracking = False
+                dirty_clear()
 
         end_time = now if stopped_early else until
         integrate_to(end_time)
@@ -513,6 +1052,6 @@ class Simulator:
             rewards=results,
             traces=trace_map,
             stopped_early=stopped_early,
-            _final_values=list(vector.values),
+            _final_values=list(values),
             _paths=self.model.paths,
         )

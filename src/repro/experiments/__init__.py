@@ -44,12 +44,15 @@ __all__ = [
 ]
 
 
-def run_all(full: bool = False, seed: int = 2013) -> str:
+def run_all(
+    full: bool = False, seed: int = 2013, n_jobs: int | None = 1
+) -> str:
     """Regenerate every table and figure; returns the formatted report.
 
     ``full=False`` (default) runs reduced sweeps suitable for a laptop
     minute; ``full=True`` uses the paper-fidelity settings (several
-    minutes).
+    minutes).  ``n_jobs`` parallelizes the simulation sweeps across
+    processes without changing any number (-1 = all cores).
     """
     from ..loggen.abe import generate_abe_logs
 
@@ -62,11 +65,21 @@ def run_all(full: bool = False, seed: int = 2013) -> str:
         run_table5().format(),
     ]
     if full:
-        fig_kwargs = {}
-        fig4_kwargs = {}
+        fig_kwargs: dict = {"n_jobs": n_jobs}
+        fig4_kwargs: dict = {"n_jobs": n_jobs}
     else:
-        fig_kwargs = {"n_steps": 4, "n_replications": 3, "hours": 4380.0}
-        fig4_kwargs = {"n_steps": 3, "n_replications": 3, "hours": 4380.0}
+        fig_kwargs = {
+            "n_steps": 4,
+            "n_replications": 3,
+            "hours": 4380.0,
+            "n_jobs": n_jobs,
+        }
+        fig4_kwargs = {
+            "n_steps": 3,
+            "n_replications": 3,
+            "hours": 4380.0,
+            "n_jobs": n_jobs,
+        }
     sections.append(run_figure2(**fig_kwargs).format())
     sections.append(run_figure3(**fig_kwargs).format())
     sections.append(run_figure4(**fig4_kwargs).format())

@@ -46,8 +46,13 @@ def run_figure3(
     base_seed: int = 3,
     shape: float = 0.7,
     base: CFSParameters | None = None,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
-    """Regenerate Figure 3 (disk replacements per week vs fleet size)."""
+    """Regenerate Figure 3 (disk replacements per week vs fleet size).
+
+    ``n_jobs`` parallelizes the replications of each sweep point without
+    changing any result.
+    """
     base = base if base is not None else abe_parameters()
     series: list[Series] = []
     for ci, afr in enumerate(afrs):
@@ -63,6 +68,8 @@ def run_figure3(
                 n_replications=n_replications,
                 rewards=model.measures.rewards,
                 extra_metrics=model.measures.extra_metrics,
+                n_jobs=n_jobs,
+                spec=model.replication_spec(),
             )
             points.append(
                 SeriesPoint(

@@ -28,8 +28,13 @@ def run_figure4(
     base_seed: int = 4,
     base: CFSParameters | None = None,
     include_spare: bool = True,
+    n_jobs: int | None = 1,
 ) -> FigureResult:
-    """Regenerate Figure 4 (full composed model, all four curves)."""
+    """Regenerate Figure 4 (full composed model, all four curves).
+
+    ``n_jobs`` parallelizes the replications of each sweep point without
+    changing any result.
+    """
     base = base if base is not None else abe_parameters()
     storage_pts: list[SeriesPoint] = []
     cfs_pts: list[SeriesPoint] = []
@@ -40,7 +45,7 @@ def run_figure4(
         params = scale_step(k, n_steps, base)
         x = params.raw_storage_tb
         result = ClusterModel(params, base_seed=base_seed + k).simulate(
-            hours=hours, n_replications=n_replications
+            hours=hours, n_replications=n_replications, n_jobs=n_jobs
         )
         storage_pts.append(SeriesPoint(x, result.storage_availability))
         cfs_pts.append(SeriesPoint(x, result.cfs_availability))
@@ -49,7 +54,9 @@ def run_figure4(
             spare_params = params.with_spare_oss(1)
             spare_result = ClusterModel(
                 spare_params, base_seed=base_seed + 100 + k
-            ).simulate(hours=hours, n_replications=n_replications)
+            ).simulate(
+                hours=hours, n_replications=n_replications, n_jobs=n_jobs
+            )
             spare_pts.append(SeriesPoint(x, spare_result.cfs_availability))
 
     series = [

@@ -1,0 +1,73 @@
+"""Shared model builders for the test suite.
+
+Import these explicitly (``from _helpers import build_two_state_san``)
+rather than from ``conftest``: conftest modules are resolved by pytest's
+import order, so ``from conftest import ...`` can silently pick up
+``benchmarks/conftest.py`` when benchmarks are collected first.
+"""
+
+from __future__ import annotations
+
+from repro.core import SAN, Deterministic, Exponential, replicate
+
+
+def build_two_state_san(
+    name: str = "comp",
+    fail_rate: float = 1 / 100.0,
+    repair_rate: float = 1 / 10.0,
+    deterministic_repair: bool = False,
+):
+    """A repairable component: the workhorse validation model."""
+    san = SAN(name)
+    san.place("up", 1)
+
+    def fail(m, rng):
+        m["up"] = 0
+
+    def repair(m, rng):
+        m["up"] = 1
+
+    san.timed(
+        "fail",
+        Exponential(fail_rate),
+        enabled=lambda m: m["up"] == 1,
+        effect=fail,
+    )
+    repair_dist = (
+        Deterministic(1.0 / repair_rate)
+        if deterministic_repair
+        else Exponential(repair_rate)
+    )
+    san.timed(
+        "repair",
+        repair_dist,
+        enabled=lambda m: m["up"] == 0,
+        effect=repair,
+    )
+    return san
+
+
+def build_fleet_node(n_units: int, fail_rate: float = 0.01, repair_rate: float = 0.1):
+    """A replicated fleet with a shared down counter (the throughput model)."""
+    unit = SAN("unit")
+    unit.place("up", 1)
+    unit.place("down_count", 0)
+    unit.timed(
+        "fail",
+        Exponential(fail_rate),
+        enabled=lambda m: m["up"] == 1,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 0),
+            m.__setitem__("down_count", m["down_count"] + 1),
+        ),
+    )
+    unit.timed(
+        "repair",
+        Exponential(repair_rate),
+        enabled=lambda m: m["up"] == 0,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 1),
+            m.__setitem__("down_count", m["down_count"] - 1),
+        ),
+    )
+    return replicate("fleet", unit, n_units, shared=["down_count"])

@@ -1,53 +1,28 @@
-"""Shared fixtures and model builders for the test suite."""
+"""Shared fixtures for the test suite.
+
+Model builders live in :mod:`_helpers` — import them explicitly
+(``from _helpers import build_two_state_san``).  Importing them from
+``conftest`` is unreliable: the name ``conftest`` resolves to whichever
+conftest module pytest imported first, which is ``benchmarks/conftest.py``
+when benchmarks are collected ahead of the tests.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.core import SAN, Deterministic, Exponential, flatten
+from repro.core import flatten
+
+from _helpers import build_two_state_san
+
+__all__ = ["build_two_state_san"]
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for tests."""
     return np.random.default_rng(12345)
-
-
-def build_two_state_san(
-    name: str = "comp",
-    fail_rate: float = 1 / 100.0,
-    repair_rate: float = 1 / 10.0,
-    deterministic_repair: bool = False,
-):
-    """A repairable component: the workhorse validation model."""
-    san = SAN(name)
-    san.place("up", 1)
-
-    def fail(m, rng):
-        m["up"] = 0
-
-    def repair(m, rng):
-        m["up"] = 1
-
-    san.timed(
-        "fail",
-        Exponential(fail_rate),
-        enabled=lambda m: m["up"] == 1,
-        effect=fail,
-    )
-    repair_dist = (
-        Deterministic(1.0 / repair_rate)
-        if deterministic_repair
-        else Exponential(repair_rate)
-    )
-    san.timed(
-        "repair",
-        repair_dist,
-        enabled=lambda m: m["up"] == 0,
-        effect=repair,
-    )
-    return san
 
 
 @pytest.fixture

@@ -1,0 +1,99 @@
+"""Record golden engine trajectories into ``tests/data/engine_golden.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/record_golden.py
+
+The fixture pins, for fixed seeds, the exact trajectory outcomes
+(``n_events``, final marking, reward accumulators) of the simulation
+engine on three reference models.  ``tests/test_engine_golden.py``
+asserts the current engine reproduces them bit-for-bit, so any change
+that perturbs RNG consumption order or event settlement order is caught.
+
+Two engine modes are pinned:
+
+* per-draw mode (``sample_batch=None``) — these values were recorded
+  from the pre-optimization engine and the compiled engine reproduces
+  them exactly, which is the bit-compatibility guarantee;
+* the default batched mode — recorded when batching was introduced,
+  pinning the default engine's determinism going forward.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _helpers import build_fleet_node, build_two_state_san
+
+from repro.cfs import abe_parameters
+from repro.cfs.cluster import build_cluster_node
+from repro.cfs.measures import build_measures
+from repro.core import RateReward, Simulator, flatten
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "engine_golden.json"
+
+
+def _snapshot(result) -> dict:
+    return {
+        "n_events": result.n_events,
+        "final_values": list(result._final_values),
+        "final_time": float(result.final_time).hex(),
+        "rewards": {
+            name: {
+                "integral": res.integral.hex(),
+                "impulse_sum": res.impulse_sum.hex(),
+                "count": res.count,
+            }
+            for name, res in result.rewards.items()
+        },
+    }
+
+
+def record() -> dict:
+    cases: dict[str, dict] = {}
+
+    params = abe_parameters()
+    model = flatten(build_cluster_node(params))
+    measures = build_measures(model, params)
+    for seed in (2008, 7, 99):
+        res = Simulator(model, base_seed=seed, sample_batch=None).run(
+            2000.0, rewards=measures.rewards
+        )
+        cases[f"abe_cluster/seed={seed}"] = _snapshot(res)
+    for seed in (2008, 7):
+        res = Simulator(model, base_seed=seed).run(
+            2000.0, rewards=measures.rewards
+        )
+        cases[f"abe_cluster_batched/seed={seed}"] = _snapshot(res)
+
+    fleet = flatten(build_fleet_node(500))
+    for seed in (2, 42):
+        res = Simulator(fleet, base_seed=seed, sample_batch=None).run(1000.0)
+        cases[f"fleet500/seed={seed}"] = _snapshot(res)
+    for seed in (2, 42):
+        res = Simulator(fleet, base_seed=seed).run(1000.0)
+        cases[f"fleet500_batched/seed={seed}"] = _snapshot(res)
+
+    two_state = flatten(build_two_state_san())
+    rw = RateReward("a", lambda m: float(m["comp/up"]))
+    for seed in (9, 123):
+        res = Simulator(two_state, base_seed=seed, sample_batch=None).run(
+            5000.0, rewards=[rw]
+        )
+        cases[f"two_state/seed={seed}"] = _snapshot(res)
+
+    return cases
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(record(), indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ from repro.core import (
 )
 from repro.core.patterns import compile_pattern, path_match
 
-from conftest import build_two_state_san
+from _helpers import build_two_state_san
 
 
 class TestEstimate:

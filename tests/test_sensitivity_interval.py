@@ -18,7 +18,7 @@ from repro.core import (
 )
 from repro.markov import CTMC
 
-from conftest import build_two_state_san
+from _helpers import build_two_state_san
 
 
 class TestIntervalReward:

@@ -25,7 +25,7 @@ from repro.core import (
 )
 from repro.markov import two_state_availability
 
-from conftest import build_two_state_san
+from _helpers import build_two_state_san
 
 
 class TestTwoState:
