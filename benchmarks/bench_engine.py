@@ -86,6 +86,28 @@ def bench_event_throughput_large_fleet(benchmark):
     assert events > 2_000
 
 
+def bench_event_throughput_fleet_rewards(benchmark):
+    """The observed fast loop: rate+impulse rewards on the 500-unit fleet.
+
+    The rate reward reads the shared counter every event writes, so this
+    is the worst case for incremental reward integration (one observer
+    refresh per event)."""
+    model = flatten(_fleet_model(500))
+    sim = Simulator(model, base_seed=2)
+    from repro.core import ImpulseReward
+
+    rewards = [
+        RateReward("frac_down", lambda m: m["fleet/down_count"] / 500.0),
+        ImpulseReward("repairs", "*/repair"),
+    ]
+
+    def run():
+        return sim.run(1_000.0, rewards=rewards).n_events
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 2_000
+
+
 def bench_abe_cluster_one_year(benchmark):
     """One replication of the calibrated ABE model over a simulated year."""
     from repro.cfs import ClusterModel

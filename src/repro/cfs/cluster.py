@@ -67,10 +67,16 @@ def build_storage_only_model(params: CFSParameters) -> FlatModel:
     return flatten(build_storage_node(params))
 
 
-def _cluster_setup(params: CFSParameters, base_seed: int) -> ReplicationSetup:
+def _cluster_setup(
+    params: CFSParameters,
+    base_seed: int,
+    availability_probes: tuple[float, ...] | None = None,
+) -> ReplicationSetup:
     """Module-level factory so parallel workers can rebuild the study."""
     model = flatten(build_cluster_node(params))
-    measures = build_measures(model, params)
+    measures = build_measures(
+        model, params, availability_probes=availability_probes
+    )
     return ReplicationSetup(
         Simulator(model, base_seed=base_seed),
         measures.rewards,
@@ -156,9 +162,13 @@ class ClusterModel:
         self.simulator = Simulator(self.model, base_seed=base_seed)
         self.measures = build_measures(self.model, params)
 
-    def replication_spec(self) -> ReplicationSpec:
+    def replication_spec(
+        self, availability_probes: tuple[float, ...] | None = None
+    ) -> ReplicationSpec:
         """Picklable recipe for rebuilding this study in worker processes."""
-        return ReplicationSpec(_cluster_setup, (self.params, self.base_seed))
+        return ReplicationSpec(
+            _cluster_setup, (self.params, self.base_seed, availability_probes)
+        )
 
     def simulate(
         self,
@@ -166,22 +176,36 @@ class ClusterModel:
         n_replications: int = 10,
         warmup: float = 0.0,
         n_jobs: int | None = 1,
+        availability_probes=None,
     ) -> ClusterResult:
         """Run replications and collect the paper's measures.
 
         ``n_jobs`` runs replications across processes (-1 = all cores);
         results are bit-identical to serial execution for any value.
+        ``availability_probes`` adds instant-of-time CFS-availability
+        samples at the given hours; each probe becomes a
+        ``cfs_availability@t`` metric, so the result carries a CI'd
+        availability timeline A(t).
         """
+        if availability_probes is not None:
+            probes = tuple(float(t) for t in availability_probes)
+            measures = build_measures(
+                self.model, self.params, availability_probes=probes
+            )
+            spec = self.replication_spec(probes)
+        else:
+            measures = self.measures
+            spec = self.replication_spec()
         experiment = replicate_runs(
             self.simulator,
             hours,
             n_replications=n_replications,
             warmup=warmup,
-            rewards=self.measures.rewards,
-            traces_factory=self.measures.traces_factory,
-            extra_metrics=self.measures.extra_metrics,
+            rewards=measures.rewards,
+            traces_factory=measures.traces_factory,
+            extra_metrics=measures.extra_metrics,
             n_jobs=n_jobs,
-            spec=self.replication_spec(),
+            spec=spec,
         )
         return ClusterResult(self.params, experiment)
 

@@ -73,22 +73,8 @@ def _storage_paths(model: FlatModel) -> tuple[str, str]:
     )
 
 
-def storage_availability_reward(model: FlatModel) -> RateReward:
-    """1 while every RAID tier holds data and every DDN controller pair is up."""
-    tiers, ctrl = _storage_paths(model)
-
-    def up(m) -> float:
-        return 1.0 if m[tiers] == 0 and m[ctrl] == 0 else 0.0
-
-    return RateReward("storage_availability", up)
-
-
-def cfs_up_predicate(model: FlatModel) -> Callable:
-    """Boolean marking function: the CFS serves its clients.
-
-    Requires: storage up, every OSS pair up (hardware and software), the
-    OSS↔DDN network up, and the shared SAN fabric up.
-    """
+def _cfs_up_paths(model: FlatModel) -> tuple[str, str, str, str, str, str, str | None]:
+    """Canonical paths of every place the CFS-up condition reads."""
     tiers, ctrl = _storage_paths(model)
     oss = resolve_slot_path(model, "*/oss_layer/pairs_down")
     oss_sw = resolve_slot_path(model, "*/oss_layer/oss_sw_down")
@@ -97,6 +83,35 @@ def cfs_up_predicate(model: FlatModel) -> Callable:
     # With a standby-spare pool, covered pairs keep serving while down.
     covered_matches = model.match("*/oss_layer/covered_pairs")
     covered = next(iter(covered_matches)) if covered_matches else None
+    return tiers, ctrl, oss, oss_sw, nw, fabric, covered
+
+
+def storage_availability_reward(model: FlatModel) -> RateReward:
+    """1 while every RAID tier holds data and every DDN controller pair is up."""
+    tiers, ctrl = _storage_paths(model)
+    ts, cs = model.paths[tiers], model.paths[ctrl]
+
+    # Declared reads let the simulator wire per-slot observer lists at
+    # compile time; raw slot reads then skip name lookup and tracking.
+    def up(m) -> float:
+        raw = m.raw
+        return 1.0 if raw[ts] == 0 and raw[cs] == 0 else 0.0
+
+    return RateReward("storage_availability", up, reads=(tiers, ctrl))
+
+
+def cfs_up_predicate(model: FlatModel) -> Callable:
+    """Boolean marking function: the CFS serves its clients.
+
+    Requires: storage up, every OSS pair up (hardware and software), the
+    OSS↔DDN network up, and the shared SAN fabric up.
+
+    This variant reads places *by path* so the simulator's tracked
+    discovery sees every read — use it for traces, stop predicates and
+    ad-hoc probing.  The reward built by :func:`cfs_availability_reward`
+    uses the slot-resolved fast variant with a declared read set instead.
+    """
+    tiers, ctrl, oss, oss_sw, nw, fabric, covered = _cfs_up_paths(model)
 
     def up(m) -> bool:
         oss_effective = m[oss] - (m[covered] if covered is not None else 0)
@@ -112,10 +127,66 @@ def cfs_up_predicate(model: FlatModel) -> Callable:
     return up
 
 
-def cfs_availability_reward(model: FlatModel) -> RateReward:
-    """The paper's CFS-availability measure as a rate reward."""
-    up = cfs_up_predicate(model)
-    return RateReward("cfs_availability", lambda m: 1.0 if up(m) else 0.0)
+def _cfs_up_fast(model: FlatModel) -> tuple[Callable, Callable, tuple[str, ...]]:
+    """Slot-resolved CFS-up checks plus the read declaration covering them.
+
+    Returns ``(up, up_raw, reads)``: ``up`` takes the view, ``up_raw``
+    takes the raw values list directly (for callers that already hold it).
+    """
+    paths = _cfs_up_paths(model)
+    tiers, ctrl, oss, oss_sw, nw, fabric, covered = paths
+    idx = model.paths
+    ts, cs, os_, osw, ns, fs = (
+        idx[tiers], idx[ctrl], idx[oss], idx[oss_sw], idx[nw], idx[fabric]
+    )
+    cov = idx[covered] if covered is not None else None
+
+    if cov is None:
+
+        def up_raw(raw) -> bool:
+            return (
+                raw[ts] == 0
+                and raw[cs] == 0
+                and raw[os_] <= 0
+                and raw[osw] == 0
+                and raw[ns] == 0
+                and raw[fs] == 0
+            )
+
+    else:
+
+        def up_raw(raw) -> bool:
+            return (
+                raw[ts] == 0
+                and raw[cs] == 0
+                and raw[os_] - raw[cov] <= 0
+                and raw[osw] == 0
+                and raw[ns] == 0
+                and raw[fs] == 0
+            )
+
+    def up(m) -> bool:
+        return up_raw(m.raw)
+
+    return up, up_raw, tuple(p for p in paths if p is not None)
+
+
+def cfs_availability_reward(
+    model: FlatModel, probe_times=None
+) -> RateReward:
+    """The paper's CFS-availability measure as a rate reward.
+
+    ``probe_times`` adds instant-of-time availability samples (the
+    probability the CFS is up at time ``t``, once averaged over
+    replications).
+    """
+    _, up_raw, reads = _cfs_up_fast(model)
+    return RateReward(
+        "cfs_availability",
+        lambda m: 1.0 if up_raw(m.raw) else 0.0,
+        reads=reads,
+        probe_times=probe_times,
+    )
 
 
 def perceived_availability_reward(
@@ -126,17 +197,23 @@ def perceived_availability_reward(
     Multiplies CFS truth by the client-network view: the spine must be up
     and the node's leaf switch must be up (averaged over leaf switches).
     """
-    up = cfs_up_predicate(model)
+    _, up_raw, up_reads = _cfs_up_fast(model)
     switches_down = resolve_slot_path(model, "*/client/switches_down")
     spine_up = resolve_slot_path(model, "*/spine_up")
+    sw, sp = model.paths[switches_down], model.paths[spine_up]
     n_switches = float(params.n_switches)
 
     def perceived(m) -> float:
-        if not up(m) or m[spine_up] == 0:
+        raw = m.raw
+        if not up_raw(raw) or raw[sp] == 0:
             return 0.0
-        return 1.0 - m[switches_down] / n_switches
+        return 1.0 - raw[sw] / n_switches
 
-    return RateReward("perceived_availability", perceived)
+    return RateReward(
+        "perceived_availability",
+        perceived,
+        reads=up_reads + (switches_down, spine_up),
+    )
 
 
 def disk_replacement_reward() -> ImpulseReward:
@@ -174,11 +251,19 @@ class ClusterMeasureSet:
     extra_metrics: dict[str, MetricFn]
 
 
-def build_measures(model: FlatModel, params: CFSParameters) -> ClusterMeasureSet:
-    """Wire the full measure set for a composed cluster model."""
+def build_measures(
+    model: FlatModel,
+    params: CFSParameters,
+    availability_probes=None,
+) -> ClusterMeasureSet:
+    """Wire the full measure set for a composed cluster model.
+
+    ``availability_probes`` adds instant-of-time samples of the CFS
+    availability at the given times (hours).
+    """
     rewards = (
         storage_availability_reward(model),
-        cfs_availability_reward(model),
+        cfs_availability_reward(model, probe_times=availability_probes),
         perceived_availability_reward(model, params),
         disk_replacement_reward(),
     )

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from typing import Sequence
 
 import numpy as np
@@ -487,7 +488,7 @@ class EquilibriumResidual(Distribution):
     Weibull (using the raw law would overstate early failures for β < 1).
     """
 
-    __slots__ = ("inner", "_mean_inner", "_quantile_grid")
+    __slots__ = ("inner", "_mean_inner", "_quantile_grid", "_grid_lists")
 
     #: Resolution of the cached inverse-CDF table used by :meth:`sample`.
     _TABLE_SIZE = 4096
@@ -500,6 +501,7 @@ class EquilibriumResidual(Distribution):
         # Fail fast if the inner law cannot report survival probabilities.
         inner.survival(0.0)
         self._quantile_grid: tuple[np.ndarray, np.ndarray] | None = None
+        self._grid_lists: tuple[list[float], list[float]] | None = None
 
     def _integrated_survival(self, t: float) -> float:
         """``∫₀ᵗ S(u) du`` via adaptive quadrature (closed form for Weibull)."""
@@ -568,13 +570,31 @@ class EquilibriumResidual(Distribution):
         return probs, quantiles
 
     def sample(self, rng: np.random.Generator) -> float:
-        if self._quantile_grid is None:
-            self._quantile_grid = self._build_quantile_grid()
-        probs, quantiles = self._quantile_grid
+        if self._grid_lists is None:
+            if self._quantile_grid is None:
+                self._quantile_grid = self._build_quantile_grid()
+            self._grid_lists = (
+                self._quantile_grid[0].tolist(),
+                self._quantile_grid[1].tolist(),
+            )
+            # the ndarray grid is never read again; keep one copy only
+            self._quantile_grid = None
+        probs, quantiles = self._grid_lists
         u = rng.uniform()
         if u > probs[-1]:
             return self._invert(u * self._mean_inner)
-        return float(np.interp(u, probs, quantiles))
+        # Inline linear interpolation on the cached grid: same arithmetic
+        # (and bit-identical results) as ``np.interp(u, probs, quantiles)``
+        # at a fraction of the scalar-call overhead.  u is in
+        # [0, probs[-1]] here and probs[0] == 0, so j-1 indexes the grid
+        # cell containing u.
+        j = bisect_right(probs, u)
+        if j >= len(probs):
+            return quantiles[-1]
+        p0 = probs[j - 1]
+        q0 = quantiles[j - 1]
+        slope = (quantiles[j] - q0) / (probs[j] - p0)
+        return slope * (u - p0) + q0
 
     def mean(self) -> float:
         """``E[X²] / (2μ)`` — closed form where the inner law allows it."""

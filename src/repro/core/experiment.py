@@ -145,6 +145,13 @@ def _default_metrics(
         name = r.name
         if isinstance(r, RateReward):
             metrics[name] = lambda res, _n=name: res[_n].time_average
+            if r.probe_times:
+                # Instant-of-time probes become per-time metrics, so a
+                # replicated study yields a CI'd availability timeline.
+                for t in r.probe_times:
+                    metrics[f"{name}@{t:g}"] = (
+                        lambda res, _n=name, _t=t: res[_n].instant(_t)
+                    )
         else:
             metrics[name] = lambda res, _n=name: res[_n].impulse_sum
             metrics[f"{name}.per_hour"] = lambda res, _n=name: res[_n].rate

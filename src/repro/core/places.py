@@ -146,6 +146,19 @@ class LocalView:
         """Local place names visible through this view."""
         return tuple(self._index)
 
+    @property
+    def raw(self) -> list[int]:
+        """The underlying marking values (read-only by convention).
+
+        Fast path for reward functions with a *declared* read set:
+        resolve slots once with :meth:`slot` and index this list
+        directly, bypassing name lookup and read tracking.  Only valid
+        when every read is declared (``RateReward(..., reads=[...])``):
+        raw reads are invisible to dependency discovery, so an
+        undeclared raw read would silently miss marking updates.
+        """
+        return self._values
+
     def slot(self, name: str) -> int:
         """Global slot index for a local place name."""
         try:

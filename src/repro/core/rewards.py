@@ -13,18 +13,53 @@ Following the Möbius reward formalism the paper relies on:
 Reward functions are evaluated through the model's *global view*, so they
 address places by full path (``"cluster/storage_tiers_down"``) or via
 pre-resolved slots for speed.
+
+Beyond plain interval-of-time accumulation, both reward kinds support the
+other Möbius variable shapes:
+
+* an **interval-of-time window** (``window=(start, end)``) restricts
+  accumulation to the window (intersected with the run's
+  ``[warmup, until]`` observation interval); the reward's ``duration`` is
+  the effective window length, so ``time_average`` and ``rate`` stay
+  consistent;
+* **instant-of-time probes** (``probe_times=[...]`` on rate rewards)
+  sample the reward value at fixed time points; results land in
+  :attr:`RewardResult.instants`.
+* a **declared read set** (``reads=[...]`` on rate rewards) names the
+  places the function may read, letting the simulator build its per-slot
+  observer lists at wiring time and skip tracked discovery entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from .patterns import path_match
-from typing import Callable
+from typing import Callable, Sequence
 
 from .errors import ModelError
 from .places import LocalView
 
 __all__ = ["RateReward", "ImpulseReward", "RewardResult"]
+
+
+def _validate_window(
+    name: str, window: tuple[float, float] | None
+) -> tuple[float, float] | None:
+    if window is None:
+        return None
+    try:
+        start, end = window
+    except (TypeError, ValueError):
+        raise ModelError(
+            f"reward {name!r}: window must be a (start, end) pair, got {window!r}"
+        ) from None
+    start, end = float(start), float(end)
+    if not 0.0 <= start < end:
+        raise ModelError(
+            f"reward {name!r}: window must satisfy 0 <= start < end, "
+            f"got ({start}, {end})"
+        )
+    return (start, end)
 
 
 class RateReward:
@@ -36,16 +71,58 @@ class RateReward:
         Result key.
     function:
         ``f(global_view) -> float`` evaluated whenever a place it reads
-        changes.  The simulator discovers the read set automatically.
+        changes.  The simulator discovers the read set automatically
+        unless ``reads`` declares it.
+    reads:
+        Optional declared read set: place paths (or globs) covering
+        *every* place the function may ever read.  Declared rewards are
+        wired into per-slot observer lists up front and evaluated without
+        read tracking; the simulator verifies the initial evaluation
+        against the declaration and raises on undeclared *name-addressed*
+        reads (``m["path"]``).  Raw slot reads (``m.raw[slot]``) are
+        invisible to that check, so a function using them must keep its
+        declaration complete by construction — pin it with a test that
+        compares against a tracked path-based twin (see
+        ``tests/test_properties_rewards.py::test_cluster_measure_declarations_cover_tracked_reads``).
+    window:
+        Optional ``(start, end)`` interval-of-time window; accumulation
+        is restricted to the window intersected with ``[warmup, until]``.
+    probe_times:
+        Optional instant-of-time sample points (hours, ``>= 0``); each
+        run records ``(time, value)`` pairs in
+        :attr:`RewardResult.instants`.  The recorded value is the left
+        limit: the reward value just before any event at that instant.
     """
 
     kind = "rate"
 
-    def __init__(self, name: str, function: Callable[[LocalView], float]) -> None:
+    def __init__(
+        self,
+        name: str,
+        function: Callable[[LocalView], float],
+        *,
+        reads: Sequence[str] | None = None,
+        window: tuple[float, float] | None = None,
+        probe_times: Sequence[float] | None = None,
+    ) -> None:
         if not callable(function):
             raise ModelError(f"rate reward {name!r}: function must be callable")
         self.name = name
         self.function = function
+        self.reads = None if reads is None else tuple(reads)
+        if self.reads is not None and not self.reads:
+            raise ModelError(f"rate reward {name!r}: reads must not be empty")
+        self.window = _validate_window(name, window)
+        if probe_times is None:
+            self.probe_times = None
+        else:
+            times = tuple(sorted(float(t) for t in probe_times))
+            if times and times[0] < 0.0:
+                raise ModelError(
+                    f"rate reward {name!r}: probe times must be >= 0, "
+                    f"got {times[0]}"
+                )
+            self.probe_times = times or None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RateReward({self.name!r})"
@@ -64,6 +141,10 @@ class ImpulseReward:
     value:
         Constant increment, or ``f(global_view) -> float`` evaluated on the
         post-completion marking.
+    window:
+        Optional ``(start, end)`` interval-of-time window; completions are
+        counted only inside the window (intersected with ``[warmup,
+        until]``).
     """
 
     kind = "impulse"
@@ -73,10 +154,13 @@ class ImpulseReward:
         name: str,
         activity_pattern: str | Callable[[str], bool],
         value: float | Callable[[LocalView], float] = 1.0,
+        *,
+        window: tuple[float, float] | None = None,
     ) -> None:
         self.name = name
         self.activity_pattern = activity_pattern
         self.value = value
+        self.window = _validate_window(name, window)
 
     def matches(self, activity_path: str) -> bool:
         """True if this reward observes the given activity instance."""
@@ -103,7 +187,12 @@ class RewardResult:
     count:
         For impulse rewards: number of matching completions.
     duration:
-        Length of the observation window (after warm-up).
+        Length of the observation window (after warm-up; for windowed
+        rewards, the effective window length).
+    instants:
+        Instant-of-time samples, ``(time, value)`` pairs in time order
+        (rate rewards with ``probe_times`` only).  Probes beyond an early
+        stop are not recorded.
     """
 
     name: str
@@ -112,6 +201,17 @@ class RewardResult:
     impulse_sum: float = 0.0
     count: int = 0
     duration: float = 0.0
+    instants: list[tuple[float, float]] = field(default_factory=list)
+
+    def instant(self, time: float) -> float:
+        """Probed value at ``time`` (must be one of the probe times)."""
+        for t, v in self.instants:
+            if t == time:
+                return v
+        raise KeyError(
+            f"reward {self.name!r}: no instant-of-time sample at t={time}; "
+            f"recorded times: {[t for t, _ in self.instants]}"
+        )
 
     @property
     def time_average(self) -> float:

@@ -39,7 +39,30 @@ Hot-path design (see ``docs/performance.md`` for measurements):
   RNG stream exactly like the pre-optimization engine.
 
 Reward variables (:mod:`repro.core.rewards`) and traces
-(:mod:`repro.core.trace`) are observed with the same dependency machinery.
+(:mod:`repro.core.trace`) are observed with the same dependency machinery,
+and reward-bearing models run a *specialized observed fast loop* rather
+than a generic slow path:
+
+* rate rewards and binary traces are wired into flat per-slot observer
+  lists (the same list-of-lists shape as the activity dependency map;
+  pre-populated at wiring time for rewards with declared ``reads``, grown
+  by tracked discovery otherwise);
+* an event marks the observers of its written slots in epoch-stamped
+  "touched" buffers and re-evaluates only those — integration, impulse
+  accumulation, window clipping and instant-of-time probes are all inline
+  checks in the loop;
+* instantaneous activities and stop predicates are also inline checks
+  (``n_inst_enabled`` / one predicate call per event), so the paper's
+  cluster models — instants, rate and impulse rewards attached — stay on
+  the compiled fast path.  Only genuinely observer-free *and* probe-free
+  models run the plain loop that skips every check.
+
+``Simulator(..., engine="reference")`` forces the un-specialized
+general event loop for every model.  It is the differential-testing
+oracle: ``tests/test_properties_rewards.py`` asserts the specialized
+loops reproduce it bit-for-bit on random reward-bearing models, and
+``tests/data/reward_golden.json`` pins it against fixtures recorded
+before the specialization existed.
 """
 
 from __future__ import annotations
@@ -229,6 +252,12 @@ class Simulator:
         are fully deterministic for a fixed seed, but they follow
         different (equally valid) trajectories because blocks consume the
         stream ahead of time.
+    engine:
+        ``"auto"`` (default) dispatches each run to the most specialized
+        event loop the model and observers allow.  ``"reference"`` forces
+        the general un-specialized loop for every model: same features,
+        same trajectories, no inlining — the differential-testing oracle
+        for the specialized paths.
     """
 
     def __init__(
@@ -237,6 +266,7 @@ class Simulator:
         base_seed: int = 0,
         max_instant_chain: int = 100_000,
         sample_batch: int | None = DEFAULT_SAMPLE_BATCH,
+        engine: str = "auto",
     ) -> None:
         self.model = model
         self.base_seed = int(base_seed)
@@ -246,6 +276,11 @@ class Simulator:
             raise SimulationError(
                 f"sample_batch must be >= 1 or None, got {sample_batch}"
             )
+        if engine not in ("auto", "reference"):
+            raise SimulationError(
+                f"engine must be 'auto' or 'reference', got {engine!r}"
+            )
+        self.engine = engine
         self._run_counter = 0
 
         acts = model.activities
@@ -566,6 +601,39 @@ class Simulator:
                 raise SimulationError(f"duplicate reward name {r.name!r}")
             results[r.name] = RewardResult(r.name, "impulse")
 
+        n_rates = len(rate_rewards)
+        rate_results = [results[r.name] for r in rate_rewards]
+        rate_fns = [r.function for r in rate_rewards]
+        # Effective integration bounds per reward: the reward's window
+        # intersected with [warmup, until].  Plain rewards get exactly
+        # (warmup, until), which keeps their integration arithmetic
+        # bit-identical to the unwindowed engine.
+        rate_lo = [0.0] * n_rates
+        rate_hi = [0.0] * n_rates
+        for i, r in enumerate(rate_rewards):
+            if r.window is None:
+                rate_lo[i] = warmup
+                rate_hi[i] = until
+            else:
+                w0, w1 = r.window
+                rate_lo[i] = warmup if warmup > w0 else w0
+                rate_hi[i] = until if until < w1 else w1
+
+        # Instant-of-time probes, merged across rewards in time order.
+        probe_list: list[tuple[float, int]] = []
+        for i, r in enumerate(rate_rewards):
+            if r.probe_times:
+                for t in r.probe_times:
+                    if t > until:
+                        raise SimulationError(
+                            f"rate reward {r.name!r}: probe time {t} "
+                            f"exceeds until={until}"
+                        )
+                    probe_list.append((t, i))
+        probe_list.sort()
+        n_probes = len(probe_list)
+        probe_pos = 0
+
         binary_traces: list[BinaryTrace] = []
         event_traces: list[EventTrace] = []
         trace_map: dict[str, BinaryTrace | EventTrace] = {}
@@ -590,10 +658,11 @@ class Simulator:
                     f"impulse reward {r.name!r} matches no activity "
                     f"(pattern {r.activity_pattern!r})"
                 )
+            ilo, ihi = r.window if r.window is not None else (0.0, float("inf"))
             entry = (
-                (results[r.name], None, r.value)
+                (results[r.name], None, r.value, ilo, ihi)
                 if callable(r.value)
-                else (results[r.name], float(r.value), None)
+                else (results[r.name], float(r.value), None, ilo, ihi)
             )
             for aid in ids:
                 lst = impulse_by_act[aid]
@@ -615,47 +684,120 @@ class Simulator:
                 lst.append(tr)
         has_observers = bool(impulse_rewards or event_traces)
 
-        # rate-reward / binary-trace incremental state (slot -> observer
-        # indices as sparse dict-of-lists; observers are few, slots many)
-        rate_values: list[float] = [0.0] * len(rate_rewards)
-        rate_deps: dict[int, list[int]] = {}
-        rate_dep_sets: list[set[int]] = [set() for _ in rate_rewards]
-        btrace_values: list[bool] = [False] * len(binary_traces)
-        btrace_deps: dict[int, list[int]] = {}
-        btrace_dep_sets: list[set[int]] = [set() for _ in binary_traces]
+        # Rate-reward / binary-trace incremental state: slot -> observer
+        # indices as flat list-of-lists indexed by slot (same shape as the
+        # activity dependency map; ``None`` marks unobserved slots).
+        # Rewards with declared reads are wired in full here; the rest
+        # grow their lists by tracked discovery.  Each observer evaluates
+        # through its own view filtered by its known-slot set, so a
+        # converged observer's tracked evaluation records nothing.
+        n_places = model.n_places
+        n_btraces = len(binary_traces)
+        rate_values: list[float] = [0.0] * n_rates
+        rate_obs: list[list[int] | None] = [None] * n_places
+        rate_known: list[set[int]] = [set() for _ in range(n_rates)]
+        rate_declared = [r.reads is not None for r in rate_rewards]
+        rate_views = [
+            LocalView(vector, model.paths, rate_known[i]) for i in range(n_rates)
+        ]
+        paths_index = model.paths
+        for i, r in enumerate(rate_rewards):
+            if r.reads is None:
+                continue
+            known = rate_known[i]
+            for entry in r.reads:
+                slot = paths_index.get(entry)
+                slots = [slot] if slot is not None else list(model.match(entry).values())
+                if not slots:
+                    raise SimulationError(
+                        f"rate reward {r.name!r}: declared read {entry!r} "
+                        "matches no place"
+                    )
+                for s in slots:
+                    if s not in known:
+                        known.add(s)
+                        lst = rate_obs[s]
+                        if lst is None:
+                            rate_obs[s] = [i]
+                        else:
+                            lst.append(i)
+        btrace_values: list[bool] = [False] * n_btraces
+        btrace_obs: list[list[int] | None] = [None] * n_places
+        btrace_known: list[set[int]] = [set() for _ in range(n_btraces)]
+        btrace_views = [
+            LocalView(vector, model.paths, btrace_known[i])
+            for i in range(n_btraces)
+        ]
         has_rates = bool(rate_rewards)
         has_watch = bool(rate_rewards or binary_traces)
-        touched_rewards: set[int] = set()
-        touched_traces: set[int] = set()
+        # Epoch-stamped touched buffers (same scheme as the dirty list):
+        # an observer index is appended at most once per observation epoch.
+        rstamp = [0] * n_rates
+        tstamp = [0] * n_btraces
+        touched_r: list[int] = []
+        touched_t: list[int] = []
+        obs_epoch = 1
 
         def eval_rate(i: int) -> float:
+            if not rate_declared[i]:
+                vector.tracking = True
+                reads.clear()
+                try:
+                    val = float(rate_fns[i](rate_views[i]))
+                finally:
+                    vector.tracking = False
+                if reads:
+                    # the filtered view records only undiscovered slots
+                    known = rate_known[i]
+                    for slot in reads:
+                        known.add(slot)
+                        lst = rate_obs[slot]
+                        if lst is None:
+                            rate_obs[slot] = [i]
+                        else:
+                            lst.append(i)
+                return val
+            return float(rate_fns[i](rate_views[i]))
+
+        def check_declared_rate(i: int) -> float:
+            """Initial evaluation of a declared-reads reward, verified.
+
+            The filtered view records any read outside the declaration;
+            a non-empty record means the declaration is wrong and the
+            observer lists would miss updates — fail loudly.
+            """
             vector.tracking = True
             reads.clear()
             try:
-                val = float(rate_rewards[i].function(gview))
+                val = float(rate_fns[i](rate_views[i]))
             finally:
                 vector.tracking = False
-            known = rate_dep_sets[i]
-            if not reads <= known:
-                for slot in reads:
-                    if slot not in known:
-                        known.add(slot)
-                        rate_deps.setdefault(slot, []).append(i)
+            if reads:
+                slot_names = sorted(
+                    p for p, s in paths_index.items() if s in reads
+                )
+                raise SimulationError(
+                    f"rate reward {rate_rewards[i].name!r} reads places "
+                    f"outside its declared read set: {slot_names}"
+                )
             return val
 
         def eval_btrace(i: int) -> bool:
             vector.tracking = True
             reads.clear()
             try:
-                val = bool(binary_traces[i].function(gview))
+                val = bool(binary_traces[i].function(btrace_views[i]))
             finally:
                 vector.tracking = False
-            known = btrace_dep_sets[i]
-            if not reads <= known:
+            if reads:
+                known = btrace_known[i]
                 for slot in reads:
-                    if slot not in known:
-                        known.add(slot)
-                        btrace_deps.setdefault(slot, []).append(i)
+                    known.add(slot)
+                    lst = btrace_obs[slot]
+                    if lst is None:
+                        btrace_obs[slot] = [i]
+                    else:
+                        lst.append(i)
             return val
 
         # -- delay sampling (rare paths) -------------------------------
@@ -743,11 +885,12 @@ class Simulator:
                 if now >= warmup:
                     obs = impulse_by_act[aid]
                     if obs is not None:
-                        for res, static, fn in obs:
-                            res.impulse_sum += (
-                                static if fn is None else fn(gview)
-                            )
-                            res.count += 1
+                        for res, static, fn, ilo, ihi in obs:
+                            if ilo <= now <= ihi:
+                                res.impulse_sum += (
+                                    static if fn is None else fn(gview)
+                                )
+                                res.count += 1
                 etr = etrace_by_act[aid]
                 if etr is not None:
                     path = act_paths[aid]
@@ -825,13 +968,18 @@ class Simulator:
                 fire(best)
                 epoch += 1
                 for slot in changed:
-                    if has_watch:
-                        rlist = rate_deps.get(slot)
-                        if rlist is not None:
-                            touched_rewards.update(rlist)
-                        tlist = btrace_deps.get(slot)
-                        if tlist is not None:
-                            touched_traces.update(tlist)
+                    rlist = rate_obs[slot]
+                    if rlist is not None:
+                        for i in rlist:
+                            if rstamp[i] != obs_epoch:
+                                rstamp[i] = obs_epoch
+                                touched_r.append(i)
+                    tlist = btrace_obs[slot]
+                    if tlist is not None:
+                        for i in tlist:
+                            if tstamp[i] != obs_epoch:
+                                tstamp[i] = obs_epoch
+                                touched_t.append(i)
                     for d in dep_lists[slot]:
                         if stamp[d] != epoch:
                             stamp[d] = epoch
@@ -850,11 +998,17 @@ class Simulator:
                 if en:
                     n_inst_enabled += 1
             settle([])
-            touched_rewards.clear()
-            touched_traces.clear()
+            # discard observer touches from the t=0 fixpoint: every
+            # observer is evaluated fresh below.  Bump the epoch so the
+            # stale stamps cannot suppress the first event's touches.
+            del touched_r[:]
+            del touched_t[:]
+            obs_epoch += 1
 
-        for i in range(len(rate_rewards)):
-            rate_values[i] = eval_rate(i)
+        for i in range(n_rates):
+            rate_values[i] = (
+                check_declared_rate(i) if rate_declared[i] else eval_rate(i)
+            )
         for i, tr in enumerate(binary_traces):
             btrace_values[i] = eval_btrace(i)
             tr.observe(0.0, btrace_values[i])
@@ -862,16 +1016,49 @@ class Simulator:
         last_t = 0.0
         stopped_early = False
 
-        def integrate_to(t: float) -> None:
-            nonlocal last_t
-            a = last_t if last_t > warmup else warmup
-            b = t if t < until else until
-            if b > a:
-                span = b - a
-                for i, val in enumerate(rate_values):
+        # Integrals accumulate in a flat scratch list (copied into the
+        # RewardResult objects at run end): a list store per term instead
+        # of a dataclass attribute round-trip in the per-event path.
+        rate_integrals = [0.0] * n_rates
+        has_rate_windows = any(r.window is not None for r in rate_rewards)
+        if not has_rate_windows:
+            # Common case: every reward integrates over [warmup, until],
+            # so the clipped span is shared (this is also the historical
+            # arithmetic, preserved bit-for-bit).
+            def integrate_to(t: float) -> None:
+                nonlocal last_t
+                a = last_t if last_t > warmup else warmup
+                b = t if t < until else until
+                if b > a:
+                    span = b - a
+                    for i in range(n_rates):
+                        val = rate_values[i]
+                        if val != 0.0:
+                            rate_integrals[i] += val * span
+                last_t = t
+
+        else:
+
+            def integrate_to(t: float) -> None:
+                """Accumulate each rate reward over (last_t, t], clipped.
+
+                Per-reward clipping bounds are the reward window
+                intersected with [warmup, until]; for unwindowed rewards
+                they are exactly (warmup, until), so mixing windowed and
+                plain rewards keeps the plain ones on the historical
+                arithmetic.
+                """
+                nonlocal last_t
+                for i in range(n_rates):
+                    val = rate_values[i]
                     if val != 0.0:
-                        results[rate_rewards[i].name].integral += val * span
-            last_t = t
+                        lo = rate_lo[i]
+                        hi = rate_hi[i]
+                        a = last_t if last_t > lo else lo
+                        b = t if t < hi else hi
+                        if b > a:
+                            rate_integrals[i] += val * (b - a)
+                last_t = t
 
         # -- event loop --------------------------------------------------
         # A completed event's token always mismatches (completion and
@@ -879,14 +1066,22 @@ class Simulator:
         # stale heap entries.
         dirty: list[int] = []
         has_stop = stop_predicate is not None
-        slow_event = has_instants or has_watch or has_stop
-        if slow_event:
+        has_probes = n_probes > 0
+        observed = has_instants or has_watch or has_stop or has_probes
+        if self.engine == "reference":
+            # General un-specialized loop: every feature, no inlining.
+            # This is the oracle the two specialized loops below are
+            # differentially tested against.
             while heap:
                 ftime, _s, aid, tok = heappop(heap)
                 if tok != token[aid]:
                     continue
                 if ftime > until:
                     break
+                while probe_pos < n_probes and probe_list[probe_pos][0] <= ftime:
+                    pt, pi = probe_list[probe_pos]
+                    rate_results[pi].instants.append((pt, rate_values[pi]))
+                    probe_pos += 1
                 if has_rates:
                     integrate_to(ftime)
                 now = ftime
@@ -898,13 +1093,18 @@ class Simulator:
                 stamp[aid] = epoch
                 dirty.append(aid)
                 for slot in changed:
-                    if has_watch:
-                        rlist = rate_deps.get(slot)
-                        if rlist is not None:
-                            touched_rewards.update(rlist)
-                        tlist = btrace_deps.get(slot)
-                        if tlist is not None:
-                            touched_traces.update(tlist)
+                    rlist = rate_obs[slot]
+                    if rlist is not None:
+                        for i in rlist:
+                            if rstamp[i] != obs_epoch:
+                                rstamp[i] = obs_epoch
+                                touched_r.append(i)
+                    tlist = btrace_obs[slot]
+                    if tlist is not None:
+                        for i in tlist:
+                            if tstamp[i] != obs_epoch:
+                                tstamp[i] = obs_epoch
+                                touched_t.append(i)
                     for d in dep_lists[slot]:
                         if stamp[d] != epoch:
                             stamp[d] = epoch
@@ -913,17 +1113,175 @@ class Simulator:
                 settle(dirty)
 
                 # Refresh rate rewards / binary traces whose inputs changed.
-                if touched_rewards:
-                    for i in touched_rewards:
+                if touched_r:
+                    for i in touched_r:
                         rate_values[i] = eval_rate(i)
-                    touched_rewards.clear()
-                if touched_traces:
-                    for i in touched_traces:
+                    del touched_r[:]
+                if touched_t:
+                    for i in touched_t:
                         val = eval_btrace(i)
                         if val != btrace_values[i]:
                             btrace_values[i] = val
                             binary_traces[i].observe(now, val)
-                    touched_traces.clear()
+                    del touched_t[:]
+                obs_epoch += 1
+
+                if has_stop and stop_predicate(gview):
+                    stopped_early = True
+                    break
+        elif observed:
+            # Specialized observed-model fast loop: the inlined hot loop
+            # plus constant-time inline checks for rate/impulse rewards,
+            # traces, probes, instantaneous activities and stop
+            # conditions.  Reward-bearing models (the paper's cluster
+            # workloads) run here instead of the reference loop; the
+            # sequence of marking writes, RNG draws and float operations
+            # is identical, which reward_golden.json pins bit-for-bit.
+            # NOTE: mirrors fire() + update_timed() + settle(); keep the
+            # sites in sync (as with the plain loop below).
+            reads_clear = reads.clear
+            changed_pop = changed.pop
+            dirty_clear = dirty.clear
+            heappushpop = heapq.heappushpop
+            pending: tuple[float, int, int, int] | None = None
+            while True:
+                if pending is not None:
+                    ftime, _s, aid, tok = heappushpop(heap, pending)
+                    pending = None
+                elif heap:
+                    ftime, _s, aid, tok = heappop(heap)
+                else:
+                    break
+                if tok != token[aid]:
+                    continue
+                if ftime > until:
+                    break
+                if probe_pos < n_probes:
+                    while probe_pos < n_probes and probe_list[probe_pos][0] <= ftime:
+                        pt, pi = probe_list[probe_pos]
+                        rate_results[pi].instants.append((pt, rate_values[pi]))
+                        probe_pos += 1
+                if has_rates:
+                    integrate_to(ftime)
+                now = ftime
+                token[aid] += 1
+
+                n_events += 1
+                view = views[aid]
+                fn1 = plain1[aid]
+                if fn1 is not None:
+                    fn1(view, rng)
+                else:
+                    igs = ig_fns[aid]
+                    if igs:
+                        for fn in igs:
+                            fn(view, rng)
+                    ct = case_tab[aid]
+                    if ct is not None:
+                        fire_cases(aid, view, ct)
+                    for og in og_fns[aid]:
+                        og(view, rng)
+                if has_observers:
+                    if now >= warmup:
+                        obs = impulse_by_act[aid]
+                        if obs is not None:
+                            for res, static, fn, ilo, ihi in obs:
+                                if ilo <= now <= ihi:
+                                    res.impulse_sum += (
+                                        static if fn is None else fn(gview)
+                                    )
+                                    res.count += 1
+                    etr = etrace_by_act[aid]
+                    if etr is not None:
+                        path = act_paths[aid]
+                        for tr in etr:
+                            tr.record(now, path, gview)
+
+                epoch += 1
+                stamp[aid] = epoch
+                dirty.append(aid)
+                while changed:
+                    slot = changed_pop()
+                    rlist = rate_obs[slot]
+                    if rlist is not None:
+                        for i in rlist:
+                            if rstamp[i] != obs_epoch:
+                                rstamp[i] = obs_epoch
+                                touched_r.append(i)
+                    tlist = btrace_obs[slot]
+                    if tlist is not None:
+                        for i in tlist:
+                            if tstamp[i] != obs_epoch:
+                                tstamp[i] = obs_epoch
+                                touched_t.append(i)
+                    for d in dep_lists[slot]:
+                        if stamp[d] != epoch:
+                            stamp[d] = epoch
+                            dirty.append(d)
+                dirty.sort()
+                vector.tracking = True
+                for aid2 in dirty:
+                    if reads:
+                        reads_clear()
+                    en = preds[aid2](views[aid2])
+                    if reads:
+                        known = act_deps[aid2]
+                        for slot in reads:
+                            if slot not in known:
+                                known.add(slot)
+                                dep_lists[slot].append(aid2)
+                                dep_journal.append((aid2, slot))
+                    if not is_timed[aid2]:
+                        if en != enabled_instant[aid2]:
+                            enabled_instant[aid2] = en
+                            n_inst_enabled += 1 if en else -1
+                        continue
+                    tok2 = token[aid2]
+                    if en:
+                        if not tok2 & 1:
+                            tok2 += 1
+                        elif reactivate[aid2]:
+                            tok2 += 2
+                        else:
+                            continue
+                        token[aid2] = tok2
+                        sm = samplers[aid2]
+                        if sm is not None:
+                            delay = sm(rng)
+                        else:
+                            vector.tracking = False
+                            delay = dyn_sample(aid2)
+                            vector.tracking = True
+                        if pending is None:
+                            pending = (now + delay, seq, aid2, tok2)
+                        else:
+                            heappush(heap, pending)
+                            pending = (now + delay, seq, aid2, tok2)
+                        seq += 1
+                    elif tok2 & 1:
+                        token[aid2] = tok2 + 1
+                vector.tracking = False
+                dirty_clear()
+                if n_inst_enabled:
+                    # Rare: an instantaneous activity became enabled.
+                    # Run the zero-time fixpoint through the shared
+                    # settle(): it fires highest-priority-first,
+                    # re-dirties, and re-settles until quiet, exactly as
+                    # the reference loop would inside its settle(dirty).
+                    settle(dirty)
+
+                if touched_r:
+                    for i in touched_r:
+                        rate_values[i] = eval_rate(i)
+                    del touched_r[:]
+                if touched_t:
+                    for i in touched_t:
+                        val = eval_btrace(i)
+                        if val != btrace_values[i]:
+                            btrace_values[i] = val
+                            binary_traces[i].observe(now, val)
+                    del touched_t[:]
+                obs_epoch += 1
 
                 if has_stop and stop_predicate(gview):
                     stopped_early = True
@@ -978,11 +1336,12 @@ class Simulator:
                     if now >= warmup:
                         obs = impulse_by_act[aid]
                         if obs is not None:
-                            for res, static, fn in obs:
-                                res.impulse_sum += (
-                                    static if fn is None else fn(gview)
-                                )
-                                res.count += 1
+                            for res, static, fn, ilo, ihi in obs:
+                                if ilo <= now <= ihi:
+                                    res.impulse_sum += (
+                                        static if fn is None else fn(gview)
+                                    )
+                                    res.count += 1
                     etr = etrace_by_act[aid]
                     if etr is not None:
                         path = act_paths[aid]
@@ -1039,9 +1398,33 @@ class Simulator:
 
         end_time = now if stopped_early else until
         integrate_to(end_time)
+        for i in range(n_rates):
+            rate_results[i].integral = rate_integrals[i]
+        if probe_pos < n_probes and not stopped_early:
+            # The marking is constant from the last event to ``until``,
+            # so remaining probes read the current values.  After an
+            # early stop the trajectory beyond ``end_time`` is undefined
+            # and later probes stay unrecorded.
+            while probe_pos < n_probes:
+                pt, pi = probe_list[probe_pos]
+                rate_results[pi].instants.append((pt, rate_values[pi]))
+                probe_pos += 1
         duration = max(end_time - warmup, 0.0)
         for res in results.values():
             res.duration = duration
+        # Windowed rewards observe their effective window, not the run's.
+        for i, r in enumerate(rate_rewards):
+            if r.window is not None:
+                lo = rate_lo[i]
+                b = end_time if end_time < rate_hi[i] else rate_hi[i]
+                rate_results[i].duration = b - lo if b > lo else 0.0
+        for r in impulse_rewards:
+            if r.window is not None:
+                w0, w1 = r.window
+                lo = warmup if warmup > w0 else w0
+                hi = until if until < w1 else w1
+                b = end_time if end_time < hi else hi
+                results[r.name].duration = b - lo if b > lo else 0.0
         for tr in binary_traces:
             tr.finish(end_time)
 

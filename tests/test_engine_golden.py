@@ -25,8 +25,10 @@ from repro.cfs.measures import build_measures
 from repro.core import RateReward, Simulator, flatten
 
 from _helpers import build_fleet_node, build_two_state_san
+from record_golden import _snapshot_rewarded, iter_reward_cases
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "engine_golden.json"
+REWARD_GOLDEN_PATH = Path(__file__).parent / "data" / "reward_golden.json"
 
 
 @pytest.fixture(scope="module")
@@ -130,6 +132,32 @@ class TestRunToRunDeterminism:
         assert per_draw.n_events != batched.n_events
         # ...but comparable event volume (both are the same process)
         assert batched.n_events == pytest.approx(per_draw.n_events, rel=0.1)
+
+
+class TestRewardGolden:
+    """Reward-bearing runs are pinned bit-for-bit against fixtures
+    recorded from the engine *before* reward integration was specialized
+    (``tests/data/reward_golden.json``): rate-reward integrals, impulse
+    accumulators, durations, binary-trace transitions, warm-up clipping
+    and early stops.
+
+    ``engine="auto"`` proves the specialized observed fast loop is
+    bit-compatible with the historical observer path;
+    ``engine="reference"`` proves the general loop stayed so too.
+    """
+
+    @pytest.fixture(scope="class")
+    def reward_golden(self) -> dict:
+        return json.loads(REWARD_GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("engine", ["auto", "reference"])
+    def test_all_cases_bit_identical(self, reward_golden, engine):
+        seen = set()
+        for key, result in iter_reward_cases(engine=engine):
+            seen.add(key)
+            snap = json.loads(json.dumps(_snapshot_rewarded(result)))
+            assert snap == reward_golden[key], f"{engine}: {key}"
+        assert seen == set(reward_golden), "recorded cases drifted"
 
 
 class TestMatchingIdsCache:
