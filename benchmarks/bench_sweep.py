@@ -1,0 +1,156 @@
+"""Sweep-cell scheduling and declared-reads benchmarks.
+
+Cell-level parallelism is the top of the scaling stack: a whole-figure
+regeneration is a grid of independent cells, and ``run_sweep`` schedules
+them across a process pool.  On a single-core host these benchmarks
+degenerate into a measurement of scheduling overhead (pool spawn + cell
+pickling), bounding the cost a multi-core host must amortize; the
+serial/parallel OPS ratio on an ``n``-core machine is the cell-level
+speedup.  Every parallel benchmark asserts bit-identity with serial
+execution.
+
+The declared-reads pair A/B-tests ``timed(..., reads=[...])`` against
+tracked discovery on an identical fleet (identical trajectories,
+asserted) — the delta is the read-tracking overhead the declaration
+removes.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py \
+        --benchmark-only -o python_functions='bench_*'
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cfs import abe_parameters
+from repro.cfs.cluster import StorageModel
+from repro.core import SAN, Exponential, ImpulseReward, Simulator, flatten, replicate
+from repro.experiments import replication_cell, run_sweep
+
+N_JOBS = max(os.cpu_count() or 1, 2)  # exercise the pool even on 1 core
+
+#: A Figure 2-shaped mini grid: 4 storage cells, 2 replications each.
+GRID_CELLS = 4
+GRID_HOURS = 2000.0
+GRID_REPS = 2
+
+
+def _grid():
+    params = abe_parameters()
+    return [
+        replication_cell(
+            ("cell", i),
+            StorageModel.spec(params, 96 + i),
+            GRID_HOURS,
+            GRID_REPS,
+        )
+        for i in range(GRID_CELLS)
+    ]
+
+
+def _samples(result):
+    return {
+        key: {m: result[key].samples(m) for m in result[key].metrics}
+        for key in result
+    }
+
+
+def bench_sweep_grid_serial(benchmark):
+    """Serial baseline: a 4-cell storage grid in grid order."""
+    result = benchmark.pedantic(
+        lambda: run_sweep(_grid(), n_jobs=1), rounds=3, iterations=1
+    )
+    assert len(result) == GRID_CELLS
+
+
+def bench_sweep_grid_parallel(benchmark):
+    """Same grid through the cell scheduler (``chunksize=1`` dispatch).
+
+    Asserts per-cell bit-identity with serial execution; the
+    serial/parallel ratio is the cell-level scaling on this host.
+    """
+    serial = _samples(run_sweep(_grid(), n_jobs=1))
+    result = benchmark.pedantic(
+        lambda: run_sweep(_grid(), n_jobs=N_JOBS), rounds=3, iterations=1
+    )
+    assert _samples(result) == serial
+
+
+def bench_sweep_pool_startup(benchmark):
+    """Scheduling overhead floor: a 2-cell grid of minimal studies.
+
+    Bounds the pool spawn + spec pickling + per-worker model build cost
+    that cell-level speedup must amortize (see docs/performance.md).
+    """
+    params = abe_parameters()
+
+    def run():
+        cells = [
+            replication_cell(
+                ("tiny", i), StorageModel.spec(params, i), 200.0, 1
+            )
+            for i in range(2)
+        ]
+        return run_sweep(cells, n_jobs=2)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result) == 2
+
+
+# ----------------------------------------------------------------------
+# declared reads vs tracked discovery
+# ----------------------------------------------------------------------
+def _fleet_model(n_units: int, declare: bool):
+    def reads(*names):
+        return {"reads": list(names)} if declare else {}
+
+    unit = SAN("unit")
+    unit.place("up", 1)
+    unit.place("down_count", 0)
+    unit.timed(
+        "fail",
+        Exponential(0.01),
+        enabled=lambda m: m["up"] == 1,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 0),
+            m.__setitem__("down_count", m["down_count"] + 1),
+        ),
+        **reads("up"),
+    )
+    unit.timed(
+        "repair",
+        Exponential(0.1),
+        enabled=lambda m: m["up"] == 0,
+        effect=lambda m, rng: (
+            m.__setitem__("up", 1),
+            m.__setitem__("down_count", m["down_count"] - 1),
+        ),
+        **reads("up"),
+    )
+    return flatten(replicate("fleet", unit, n_units, shared=["down_count"]))
+
+
+def _run_fleet(declare: bool):
+    sim = Simulator(_fleet_model(500, declare), base_seed=11)
+    return sim.run(1000.0, rewards=[ImpulseReward("fails", "*/fail")])
+
+
+def bench_fleet_tracked_reads(benchmark):
+    """500-unit fleet year with tracked dependency discovery."""
+    result = benchmark.pedantic(lambda: _run_fleet(False), rounds=3, iterations=1)
+    assert result.n_events > 1000
+
+
+def bench_fleet_declared_reads(benchmark):
+    """Same fleet with ``reads=[...]`` declared on every activity.
+
+    Asserts the trajectory is bit-identical to the tracked run; the
+    timing delta against ``bench_fleet_tracked_reads`` is the tracking
+    overhead removed.
+    """
+    tracked = _run_fleet(False)
+    result = benchmark.pedantic(lambda: _run_fleet(True), rounds=3, iterations=1)
+    assert result.n_events == tracked.n_events
+    assert result._final_values == tracked._final_values

@@ -162,13 +162,28 @@ class ClusterModel:
         self.simulator = Simulator(self.model, base_seed=base_seed)
         self.measures = build_measures(self.model, params)
 
+    @staticmethod
+    def spec(
+        params: CFSParameters,
+        base_seed: int,
+        availability_probes: tuple[float, ...] | None = None,
+    ) -> ReplicationSpec:
+        """Picklable study recipe *without* building the model locally.
+
+        Sweep-cell builders use this to describe a grid of cluster
+        studies cheaply: flattening the composed model (~10 ms for ABE,
+        ~120 ms at petascale) happens once in whichever process executes
+        the cell, never in the scheduling parent.
+        """
+        return ReplicationSpec(
+            _cluster_setup, (params, int(base_seed), availability_probes)
+        )
+
     def replication_spec(
         self, availability_probes: tuple[float, ...] | None = None
     ) -> ReplicationSpec:
         """Picklable recipe for rebuilding this study in worker processes."""
-        return ReplicationSpec(
-            _cluster_setup, (self.params, self.base_seed, availability_probes)
-        )
+        return ClusterModel.spec(self.params, self.base_seed, availability_probes)
 
     def simulate(
         self,
@@ -224,9 +239,15 @@ class StorageModel:
         self.simulator = Simulator(self.model, base_seed=base_seed)
         self.measures = build_storage_measures(self.model)
 
+    @staticmethod
+    def spec(params: CFSParameters, base_seed: int) -> ReplicationSpec:
+        """Picklable study recipe without building the model locally
+        (see :meth:`ClusterModel.spec`)."""
+        return ReplicationSpec(_storage_setup, (params, int(base_seed)))
+
     def replication_spec(self) -> ReplicationSpec:
         """Picklable recipe for rebuilding this study in worker processes."""
-        return ReplicationSpec(_storage_setup, (self.params, self.base_seed))
+        return StorageModel.spec(self.params, self.base_seed)
 
     def simulate(
         self,

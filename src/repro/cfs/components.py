@@ -13,6 +13,12 @@
 
 Every builder returns composition nodes exporting the shared counters the
 reward measures read (see :mod:`repro.cfs.measures`).
+
+The single-place enabling predicates declare their dependency sets
+(``timed(..., reads=[...])``), so the compiled engine skips read tracking
+for them — this matters most for the leaf-switch transients, which are
+~97 % of all events in a petascale year.  Trajectories are bit-identical
+to tracked discovery (pinned by ``tests/test_engine_golden.py``).
 """
 
 from __future__ import annotations
@@ -73,12 +79,14 @@ def build_oss_software_san(params: CFSParameters, name: str = "lustre") -> SAN:
         _per_720h(params.oss_sw_failures_per_720h),
         enabled=lambda m: m["sw_down"] == 0,
         effect=fails,
+        reads=["sw_down"],
     )
     san.timed(
         "fsck",
         _uniform(params.oss_sw_repair_hours),
         enabled=lambda m: m["sw_down"] == 1,
         effect=repaired,
+        reads=["sw_down"],
     )
     return san
 
@@ -219,12 +227,14 @@ def build_san_fabric_san(params: CFSParameters, name: str = "san_fabric") -> SAN
         _per_720h(params.san_fabric_failures_per_720h),
         enabled=lambda m: m["fabric_down"] == 0,
         effect=fails,
+        reads=["fabric_down"],
     )
     san.timed(
         "hw_repair",
         _uniform(params.san_fabric_repair_hours),
         enabled=lambda m: m["fabric_down"] == 1,
         effect=lambda m, rng: m.__setitem__("fabric_down", 0),
+        reads=["fabric_down"],
     )
     return san
 
@@ -259,12 +269,14 @@ def build_leaf_switch_san(params: CFSParameters, name: str = "switch") -> SAN:
         _per_720h(params.switch_transient_per_720h),
         enabled=lambda m: m["sw_up"] == 1,
         effect=transient,
+        reads=["sw_up"],
     )
     san.timed(
         "recover",
         Uniform(lo / 60.0, hi / 60.0),
         enabled=lambda m: m["sw_up"] == 0,
         effect=recovered,
+        reads=["sw_up"],
     )
     return san
 
@@ -289,12 +301,14 @@ def build_spine_san(params: CFSParameters, name: str = "spine") -> SAN:
         _per_720h(params.spine_transient_per_720h),
         enabled=lambda m: m["spine_up"] == 1,
         effect=transient,
+        reads=["spine_up"],
     )
     san.timed(
         "recover",
         Uniform(lo / 60.0, hi / 60.0),
         enabled=lambda m: m["spine_up"] == 0,
         effect=lambda m, rng: m.__setitem__("spine_up", 1),
+        reads=["spine_up"],
     )
     return san
 

@@ -39,18 +39,19 @@ def build_parser() -> argparse.ArgumentParser:
             )
         return value
 
-    def add_jobs(p: argparse.ArgumentParser) -> None:
+    def add_jobs(p: argparse.ArgumentParser, unit: str = "sweep cells") -> None:
         p.add_argument(
             "--jobs",
             type=jobs_value,
             default=1,
             metavar="N",
-            help="worker processes for replications (-1 = all cores); "
+            help=f"worker processes scheduling {unit} (-1 = all cores); "
             "results are identical for any value",
         )
 
     p_tables = sub.add_parser("tables", help="regenerate Tables 1-5")
     p_tables.add_argument("--seed", type=int, default=2013)
+    add_jobs(p_tables)
 
     p_figures = sub.add_parser("figures", help="regenerate Figures 2-4")
     p_figures.add_argument("--full", action="store_true", help="paper fidelity")
@@ -71,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--replications", type=int, default=8)
     p_sim.add_argument("--hours", type=float, default=8760.0)
     p_sim.add_argument("--seed", type=int, default=2008)
-    add_jobs(p_sim)
+    add_jobs(p_sim, unit="replications (one study, no grid)")
 
     p_logs = sub.add_parser("logs", help="synthesize the ABE logs")
     p_logs.add_argument("output_dir")
@@ -80,16 +81,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
-    from .experiments import run_table1, run_table2, run_table3, run_table4, run_table5
-    from .loggen import generate_abe_logs
+    from .experiments import (
+        run_sweep,
+        table1_cell,
+        table2_cell,
+        table3_cell,
+        table4_cell,
+        table5_cell,
+    )
 
-    logs = generate_abe_logs(seed=args.seed)
-    for runner in (run_table1, run_table2, run_table3):
-        print(runner(logs=logs).format())
-        print()
-    print(run_table4().format())
-    print()
-    print(run_table5().format())
+    cells = [
+        table1_cell(seed=args.seed),
+        table2_cell(seed=args.seed),
+        table3_cell(seed=args.seed),
+        table4_cell(),
+        table5_cell(),
+    ]
+    from .loggen.abe import warm_logs_cache_for_pool
+
+    warm_logs_cache_for_pool(args.seed, args.jobs)
+    results = run_sweep(cells, n_jobs=args.jobs)
+    print("\n\n".join(r.format() for r in results.values()))
     return 0
 
 
@@ -127,21 +139,39 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .cfs import ClusterModel, abe_parameters, petascale_parameters
+    from .experiments import replication_cell, run_sweep
 
     presets = [
         ("ABE (paper: 0.972)", abe_parameters()),
         ("petascale (paper: 0.909)", petascale_parameters()),
         ("petascale + spare (paper: +3%)", petascale_parameters().with_spare_oss(1)),
     ]
-    for label, params in presets:
-        t0 = time.time()
-        result = ClusterModel(params, base_seed=2008).simulate(
-            hours=args.hours,
-            n_replications=args.replications,
-            n_jobs=args.jobs,
+    from .core.parallel import resolve_n_jobs
+
+    t0 = time.time()
+    # Only 3 cells: split surplus workers into within-cell replication
+    # parallelism so e.g. --jobs 12 runs 3 cells x 4 replication workers
+    # (results are bit-identical for every split).
+    jobs = resolve_n_jobs(args.jobs)
+    inner = max(1, jobs // len(presets))
+    cells = [
+        replication_cell(
+            label,
+            ClusterModel.spec(params, 2008),
+            args.hours,
+            args.replications,
+            n_jobs=inner,
         )
-        print(f"{label:<32} CFS availability {result.cfs_availability}"
-              f"   [{time.time() - t0:.0f}s]")
+        for label, params in presets
+    ]
+    results = run_sweep(cells, n_jobs=min(jobs, len(cells)))
+    for label, _params in presets:
+        est = results[label].estimate("cfs_availability")
+        print(f"{label:<32} CFS availability {est}")
+    print(
+        f"[{time.time() - t0:.0f}s, {min(jobs, len(cells))} cell worker(s) "
+        f"x {inner} replication worker(s)]"
+    )
     return 0
 
 

@@ -40,6 +40,7 @@ from .rng import make_generator
 __all__ = [
     "ReplicationSetup",
     "ReplicationSpec",
+    "pool_context",
     "resolve_n_jobs",
     "run_replications_parallel",
 ]
@@ -161,6 +162,16 @@ def _fork_context():
         return None
 
 
+def pool_context():
+    """Multiprocessing context for worker pools over picklable tasks.
+
+    Prefers the ``fork`` start method for cheap start-up and falls back
+    to the platform default.  Used by spec-mode replication pools and by
+    the sweep-cell scheduler (:mod:`repro.experiments.sweep`).
+    """
+    return _fork_context() or multiprocessing.get_context()
+
+
 def run_replications_parallel(
     *,
     until: float,
@@ -183,9 +194,8 @@ def run_replications_parallel(
         raise SimulationError("pass exactly one of spec= or setup=")
 
     if spec is not None:
-        # Spec mode: workers rebuild from the picklable recipe.  Prefer
-        # fork for cheap start-up, fall back to the platform default.
-        ctx = _fork_context() or multiprocessing.get_context()
+        # Spec mode: workers rebuild from the picklable recipe.
+        ctx = pool_context()
         init_arg = spec
     else:
         ctx = _fork_context()

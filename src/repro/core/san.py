@@ -64,6 +64,11 @@ class ActivityDef:
     priority:
         Instantaneous activities fire in decreasing priority order
         (ties broken by definition order).
+    reads:
+        Optional declared dependency set: the local place names this
+        activity's enabling predicates (and marking-dependent
+        distribution, if any) may ever read.  ``None`` (default) keeps
+        tracked discovery.  See :meth:`SAN.timed` for the contract.
     reactivate:
         If true, the activity resamples its completion time whenever a
         place it depends on changes while it remains enabled ("reactivation"
@@ -78,6 +83,7 @@ class ActivityDef:
     output_gates: tuple[OutputGate, ...] = ()
     cases: tuple[Case, ...] = ()
     priority: int = 0
+    reads: tuple[str, ...] | None = None
     reactivate: bool = False
 
     def __post_init__(self) -> None:
@@ -101,6 +107,18 @@ class ActivityDef:
             raise ModelError(
                 f"instantaneous activity {self.name!r} must not have a distribution"
             )
+        if self.reads is not None:
+            if not self.reads:
+                raise ModelError(
+                    f"activity {self.name!r}: reads must not be empty "
+                    "(omit it to keep tracked discovery)"
+                )
+            for entry in self.reads:
+                if not isinstance(entry, str) or not entry:
+                    raise ModelError(
+                        f"activity {self.name!r}: reads entries must be "
+                        f"non-empty place names, got {entry!r}"
+                    )
         validate_cases(self.cases, self.name)
 
     def is_enabled(self, m: LocalView) -> bool:
@@ -151,6 +169,7 @@ class SAN:
         input_gates: Iterable[InputGate] = (),
         output_gates: Iterable[OutputGate] = (),
         cases: Iterable[Case] = (),
+        reads: Iterable[str] | None = None,
         reactivate: bool = False,
     ) -> ActivityDef:
         """Declare a timed activity.
@@ -158,6 +177,22 @@ class SAN:
         ``enabled`` and ``effect`` are conveniences that wrap a bare
         predicate/function into an input/output gate; they combine with any
         explicitly supplied gates (convenience gates run first).
+
+        ``reads`` optionally declares the dependency set: the local place
+        names that the enabling predicates — and, for marking-dependent
+        distributions, the distribution callable — may *ever* read, in any
+        marking.  Declared activities are wired into the simulator's
+        slot → activity dependency map at compile time and their
+        predicates are evaluated **without read tracking** on the
+        compiled fast path (the activity analogue of
+        ``RateReward(..., reads=[...])``).  The simulator verifies the
+        initial evaluation against the declaration and raises on
+        undeclared reads; reads that only happen in later markings
+        (short-circuit predicates) cannot be caught that way, so the
+        declaration must be kept complete by construction.  For
+        ``reactivate=True`` activities the declared set *defines* which
+        place writes trigger resampling, replacing discovery-order
+        semantics.
         """
         igs = tuple(
             ([InputGate(enabled, name=f"{name}.enabled")] if enabled is not None else [])
@@ -174,6 +209,7 @@ class SAN:
             input_gates=igs,
             output_gates=ogs,
             cases=tuple(cases),
+            reads=None if reads is None else tuple(reads),
             reactivate=reactivate,
         )
         self._add_activity(act)
@@ -188,9 +224,14 @@ class SAN:
         input_gates: Iterable[InputGate] = (),
         output_gates: Iterable[OutputGate] = (),
         cases: Iterable[Case] = (),
+        reads: Iterable[str] | None = None,
         priority: int = 0,
     ) -> ActivityDef:
-        """Declare an instantaneous (zero-delay) activity."""
+        """Declare an instantaneous (zero-delay) activity.
+
+        ``reads`` declares the enabling predicates' dependency set, with
+        the same contract as :meth:`timed`.
+        """
         igs = tuple(
             ([InputGate(enabled, name=f"{name}.enabled")] if enabled is not None else [])
             + list(input_gates)
@@ -206,6 +247,7 @@ class SAN:
             input_gates=igs,
             output_gates=ogs,
             cases=tuple(cases),
+            reads=None if reads is None else tuple(reads),
             priority=priority,
         )
         self._add_activity(act)

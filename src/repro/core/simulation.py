@@ -16,7 +16,12 @@ each predicate reads (the views track reads) and re-evaluates an activity
 only when one of those slots changes.  This makes large replicated models
 (the 4800-disk petascale fleet) cheap to simulate: an event touches a few
 places and therefore re-evaluates a few activities, independent of model
-size.
+size.  Activities may also *declare* their dependency set up front
+(``SAN.timed(..., reads=[...])``, the activity analogue of
+``RateReward(..., reads=[...])``): declared activities are wired into the
+slot → activity dependency map at compile time, their predicates and
+marking-dependent distribution callables run with read tracking skipped,
+and the initial evaluation is verified against the declaration.
 
 Hot-path design (see ``docs/performance.md`` for measurements):
 
@@ -168,6 +173,7 @@ class _Compiled:
         "samplers",
         "dyn_dists",
         "is_timed",
+        "declared",
         "reactivate",
         "paths",
         "batched",
@@ -379,14 +385,37 @@ class Simulator:
         c.samplers = [None] * n
         c.dyn_dists = [None] * n
         c.is_timed = [False] * n
+        c.declared = [False] * n
         c.reactivate = [False] * n
 
+        act_deps = self._act_deps
+        dep_lists = self._dep_lists
         batched_by_dist: dict[int, BatchedSampler] = {}
         for act in model.activities:
             aid = act.ident
             d = act.definition
             c.is_timed[aid] = d.kind == TIMED
             c.reactivate[aid] = d.reactivate
+
+            if d.reads is not None:
+                # Declared dependency set (the activity analogue of
+                # RateReward reads): resolve local names to slots and wire
+                # them into the dependency map as compile-time baseline —
+                # NOT journaled, so it survives the per-run rollback.  The
+                # activity's predicates then run without read tracking.
+                known = act_deps[aid]
+                for pname in d.reads:
+                    slot = act.index.get(pname)
+                    if slot is None:
+                        raise SimulationError(
+                            f"activity {act.path!r}: declared read "
+                            f"{pname!r} is not a place of its SAN; "
+                            f"visible places: {sorted(act.index)}"
+                        )
+                    if slot not in known:
+                        known.add(slot)
+                        dep_lists[slot].append(aid)
+                c.declared[aid] = True
 
             gates = d.input_gates
             c.preds[aid] = (
@@ -451,8 +480,6 @@ class Simulator:
         # dependencies) can be computed once.  Predicates must be pure
         # functions of the marking (SAN semantics).
         vec = c.vector
-        act_deps = self._act_deps
-        dep_lists = self._dep_lists
         c.init_timed = []
         c.init_instants = []
         for act in model.activities:
@@ -465,6 +492,17 @@ class Simulator:
                 vec.tracking = False
             reads = vec.reads
             if reads:
+                if c.declared[aid]:
+                    # The view filters reads through the declared slot
+                    # set, so anything recorded here is an undeclared
+                    # read — the dependency map would miss its updates.
+                    names = sorted(
+                        n for n, s in act.index.items() if s in reads
+                    )
+                    raise SimulationError(
+                        f"activity {act.path!r} reads places outside its "
+                        f"declared read set: {names}"
+                    )
                 known = act_deps[aid]
                 for slot in reads:
                     if slot not in known:
@@ -548,6 +586,7 @@ class Simulator:
         samplers = c.samplers
         dyn_dists = c.dyn_dists
         is_timed = c.is_timed
+        declared = c.declared
         reactivate = c.reactivate
         act_paths = c.paths
         act_deps = self._act_deps
@@ -569,6 +608,9 @@ class Simulator:
         enabled_instant = [False] * n_acts
         n_inst_enabled = 0
         stamp = [0] * n_acts  # epoch marks for dirty-list dedup
+        # declared activities' distribution callables are verified against
+        # the declaration on their first evaluation each run
+        dyn_checked = [False] * n_acts
         epoch = 0
         heap: list[tuple[float, int, int, int]] = []  # (time, seq, aid, token)
         seq = 0
@@ -802,20 +844,49 @@ class Simulator:
 
         # -- delay sampling (rare paths) -------------------------------
         def dyn_sample(aid: int) -> float:
-            """Marking-dependent distribution: evaluate under tracking."""
-            vector.tracking = True
-            reads.clear()
-            try:
-                dist = dyn_dists[aid](views[aid])
-            finally:
-                vector.tracking = False
-            if reads:
-                known = act_deps[aid]
-                for slot in reads:
-                    if slot not in known:
-                        known.add(slot)
-                        dep_lists[slot].append(aid)
-                        dep_journal.append((aid, slot))
+            """Marking-dependent distribution: evaluate under tracking
+            (or, for declared-reads activities, with tracking skipped
+            after a verified first evaluation)."""
+            if declared[aid]:
+                if dyn_checked[aid]:
+                    dist = dyn_dists[aid](views[aid])
+                else:
+                    # First activation this run: evaluate tracked through
+                    # the declaration-filtered view, so anything recorded
+                    # is an undeclared read — the dependency map would
+                    # miss its updates (same check as the predicates at
+                    # compile time and declared rate rewards at t=0).
+                    dyn_checked[aid] = True
+                    vector.tracking = True
+                    reads.clear()
+                    try:
+                        dist = dyn_dists[aid](views[aid])
+                    finally:
+                        vector.tracking = False
+                    if reads:
+                        index = self.model.activities[aid].index
+                        names = sorted(
+                            n for n, s in index.items() if s in reads
+                        )
+                        raise SimulationError(
+                            f"activity {act_paths[aid]!r}: distribution "
+                            f"callable reads places outside the declared "
+                            f"read set: {names}"
+                        )
+            else:
+                vector.tracking = True
+                reads.clear()
+                try:
+                    dist = dyn_dists[aid](views[aid])
+                finally:
+                    vector.tracking = False
+                if reads:
+                    known = act_deps[aid]
+                    for slot in reads:
+                        if slot not in known:
+                            known.add(slot)
+                            dep_lists[slot].append(aid)
+                            dep_journal.append((aid, slot))
             if not isinstance(dist, Distribution):
                 raise SimulationError(
                     f"activity {act_paths[aid]!r}: "
@@ -927,20 +998,23 @@ class Simulator:
             while True:
                 dirty.sort()
                 for aid in dirty:
-                    vector.tracking = True
-                    if reads:
-                        reads.clear()
-                    try:
+                    if declared[aid]:
                         en = preds[aid](views[aid])
-                    finally:
-                        vector.tracking = False
-                    if reads:
-                        known = act_deps[aid]
-                        for slot in reads:
-                            if slot not in known:
-                                known.add(slot)
-                                dep_lists[slot].append(aid)
-                                dep_journal.append((aid, slot))
+                    else:
+                        vector.tracking = True
+                        if reads:
+                            reads.clear()
+                        try:
+                            en = preds[aid](views[aid])
+                        finally:
+                            vector.tracking = False
+                        if reads:
+                            known = act_deps[aid]
+                            for slot in reads:
+                                if slot not in known:
+                                    known.add(slot)
+                                    dep_lists[slot].append(aid)
+                                    dep_journal.append((aid, slot))
                     if is_timed[aid]:
                         update_timed(aid, en)
                     elif en != enabled_instant[aid]:
@@ -1221,16 +1295,21 @@ class Simulator:
                 dirty.sort()
                 vector.tracking = True
                 for aid2 in dirty:
-                    if reads:
-                        reads_clear()
-                    en = preds[aid2](views[aid2])
-                    if reads:
-                        known = act_deps[aid2]
-                        for slot in reads:
-                            if slot not in known:
-                                known.add(slot)
-                                dep_lists[slot].append(aid2)
-                                dep_journal.append((aid2, slot))
+                    if declared[aid2]:
+                        vector.tracking = False
+                        en = preds[aid2](views[aid2])
+                        vector.tracking = True
+                    else:
+                        if reads:
+                            reads_clear()
+                        en = preds[aid2](views[aid2])
+                        if reads:
+                            known = act_deps[aid2]
+                            for slot in reads:
+                                if slot not in known:
+                                    known.add(slot)
+                                    dep_lists[slot].append(aid2)
+                                    dep_journal.append((aid2, slot))
                     if not is_timed[aid2]:
                         if en != enabled_instant[aid2]:
                             enabled_instant[aid2] = en
@@ -1359,16 +1438,21 @@ class Simulator:
                 dirty.sort()
                 vector.tracking = True
                 for aid2 in dirty:
-                    if reads:
-                        reads_clear()
-                    en = preds[aid2](views[aid2])
-                    if reads:
-                        known = act_deps[aid2]
-                        for slot in reads:
-                            if slot not in known:
-                                known.add(slot)
-                                dep_lists[slot].append(aid2)
-                                dep_journal.append((aid2, slot))
+                    if declared[aid2]:
+                        vector.tracking = False
+                        en = preds[aid2](views[aid2])
+                        vector.tracking = True
+                    else:
+                        if reads:
+                            reads_clear()
+                        en = preds[aid2](views[aid2])
+                        if reads:
+                            known = act_deps[aid2]
+                            for slot in reads:
+                                if slot not in known:
+                                    known.add(slot)
+                                    dep_lists[slot].append(aid2)
+                                    dep_journal.append((aid2, slot))
                     tok2 = token[aid2]
                     if en:
                         if not tok2 & 1:

@@ -1,22 +1,34 @@
 """Regenerators for every table and figure in the paper's evaluation.
 
 Each ``run_*`` function returns a structured result whose ``format()``
-method prints the paper's rows/series; ``run_all`` executes everything
-(at reduced fidelity unless ``full=True``) and returns the formatted
-report.
+method prints the paper's rows/series.  Every regenerator is expressed
+as a grid of independent *sweep cells* (:mod:`repro.experiments.sweep`):
+``run_figureN``/``run_tableN`` schedule their own grid, while
+:func:`run_all` flattens all of them — five tables plus every
+(configuration, scale-step) figure point — into one grid and schedules
+it across a single worker pool (``n_jobs``), then assembles the
+formatted report.  Cells are seeded from their grid coordinates, so the
+report is bit-identical for every ``n_jobs`` value.
 """
 
 from __future__ import annotations
 
-from .figure2 import DEFAULT_CONFIGS, Figure2Config, run_figure2
-from .figure3 import DEFAULT_AFRS, expected_replacements_per_week, run_figure3
-from .figure4 import run_figure4
+from .figure2 import DEFAULT_CONFIGS, Figure2Config, _assemble_figure2, figure2_cells, run_figure2
+from .figure3 import (
+    DEFAULT_AFRS,
+    _assemble_figure3,
+    expected_replacements_per_week,
+    figure3_cells,
+    run_figure3,
+)
+from .figure4 import _assemble_figure4, figure4_cells, run_figure4
 from .runner import FigureResult, Series, SeriesPoint, TableResult
-from .table1 import Table1Result, run_table1
-from .table2 import Table2Result, run_table2
-from .table3 import Table3Result, run_table3
-from .table4 import Table4Result, run_table4
-from .table5 import Table5Result, run_table5
+from .sweep import SweepCell, SweepResult, replication_cell, run_sweep
+from .table1 import Table1Result, run_table1, table1_cell
+from .table2 import Table2Result, run_table2, table2_cell
+from .table3 import Table3Result, run_table3, table3_cell
+from .table4 import Table4Result, run_table4, table4_cell
+from .table5 import Table5Result, run_table5, table5_cell
 
 __all__ = [
     "run_table1",
@@ -28,6 +40,18 @@ __all__ = [
     "run_figure3",
     "run_figure4",
     "run_all",
+    "run_sweep",
+    "SweepCell",
+    "SweepResult",
+    "replication_cell",
+    "figure2_cells",
+    "figure3_cells",
+    "figure4_cells",
+    "table1_cell",
+    "table2_cell",
+    "table3_cell",
+    "table4_cell",
+    "table5_cell",
     "Table1Result",
     "Table2Result",
     "Table3Result",
@@ -51,36 +75,50 @@ def run_all(
 
     ``full=False`` (default) runs reduced sweeps suitable for a laptop
     minute; ``full=True`` uses the paper-fidelity settings (several
-    minutes).  ``n_jobs`` parallelizes the simulation sweeps across
-    processes without changing any number (-1 = all cores).
+    minutes).  All cells — tables and every figure sweep point — form
+    one grid scheduled across ``n_jobs`` worker processes (-1 = all
+    cores) without changing any number.
     """
-    from ..loggen.abe import generate_abe_logs
+    from ..cfs.parameters import abe_parameters
+    from ..loggen.abe import warm_logs_cache_for_pool
 
-    logs = generate_abe_logs(seed=seed)
-    sections = [
-        run_table1(logs=logs).format(),
-        run_table2(logs=logs).format(),
-        run_table3(logs=logs).format(),
-        run_table4(seed=seed).format(),
-        run_table5().format(),
+    # Pinned explicitly (not via the figure modules' defaults) so the
+    # cells() builders and the _assemble_* calls below can never disagree
+    # on the grid shape.
+    n_steps = 10 if full else 4
+    n_steps4 = 6 if full else 3
+    n_reps = {} if full else {"n_replications": 3, "hours": 4380.0}
+    shape = 0.7
+    include_spare = True
+
+    base = abe_parameters()
+    cells = [
+        table1_cell(seed=seed),
+        table2_cell(seed=seed),
+        table3_cell(seed=seed),
+        table4_cell(seed=seed),
+        table5_cell(),
     ]
-    if full:
-        fig_kwargs: dict = {"n_jobs": n_jobs}
-        fig4_kwargs: dict = {"n_jobs": n_jobs}
-    else:
-        fig_kwargs = {
-            "n_steps": 4,
-            "n_replications": 3,
-            "hours": 4380.0,
-            "n_jobs": n_jobs,
-        }
-        fig4_kwargs = {
-            "n_steps": 3,
-            "n_replications": 3,
-            "hours": 4380.0,
-            "n_jobs": n_jobs,
-        }
-    sections.append(run_figure2(**fig_kwargs).format())
-    sections.append(run_figure3(**fig_kwargs).format())
-    sections.append(run_figure4(**fig4_kwargs).format())
+    cells += figure2_cells(base=base, n_steps=n_steps, **n_reps)
+    cells += figure3_cells(base=base, n_steps=n_steps, shape=shape, **n_reps)
+    cells += figure4_cells(
+        base=base, n_steps=n_steps4, include_spare=include_spare, **n_reps
+    )
+
+    warm_logs_cache_for_pool(seed, n_jobs)
+    results = run_sweep(cells, n_jobs=n_jobs)
+
+    fig2 = _assemble_figure2(results, DEFAULT_CONFIGS, n_steps, base)
+    fig3 = _assemble_figure3(results, DEFAULT_AFRS, n_steps, shape, base)
+    fig4 = _assemble_figure4(results, n_steps4, base, include_spare)
+    sections = [
+        results["table1"].format(),
+        results["table2"].format(),
+        results["table3"].format(),
+        results["table4"].format(),
+        results["table5"].format(),
+        fig2.format(),
+        fig3.format(),
+        fig4.format(),
+    ]
     return "\n\n".join(sections)

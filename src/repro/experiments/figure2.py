@@ -22,11 +22,11 @@ from dataclasses import dataclass
 from ..cfs.cluster import StorageModel
 from ..cfs.parameters import CFSParameters, abe_parameters
 from ..cfs.scaling import scale_step
-from ..core.experiment import replicate_runs
 from ..raid.config import RAID6_8P2, RAID_8P3, RAIDConfig
 from .runner import FigureResult, Series, SeriesPoint
+from .sweep import SweepCell, SweepResult, replication_cell, run_sweep
 
-__all__ = ["Figure2Config", "DEFAULT_CONFIGS", "run_figure2"]
+__all__ = ["Figure2Config", "DEFAULT_CONFIGS", "figure2_cells", "run_figure2"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,57 @@ DEFAULT_CONFIGS: tuple[Figure2Config, ...] = (
 )
 
 
+def figure2_cells(
+    configs: tuple[Figure2Config, ...] = DEFAULT_CONFIGS,
+    n_steps: int = 10,
+    n_replications: int = 8,
+    hours: float = 8760.0,
+    base_seed: int = 96,
+    base: CFSParameters | None = None,
+) -> list[SweepCell]:
+    """The Figure 2 grid: one cell per (configuration, scale-step)."""
+    base = base if base is not None else abe_parameters()
+    cells: list[SweepCell] = []
+    for ci, config in enumerate(configs):
+        for k in range(1, n_steps + 1):
+            params = config.apply(scale_step(k, n_steps, base))
+            cells.append(
+                replication_cell(
+                    ("figure2", ci, k),
+                    StorageModel.spec(params, base_seed + 1000 * ci + k),
+                    hours,
+                    n_replications,
+                )
+            )
+    return cells
+
+
+def _assemble_figure2(
+    results: SweepResult,
+    configs: tuple[Figure2Config, ...],
+    n_steps: int,
+    base: CFSParameters,
+) -> FigureResult:
+    series: list[Series] = []
+    for ci, config in enumerate(configs):
+        points: list[SeriesPoint] = []
+        for k in range(1, n_steps + 1):
+            params = config.apply(scale_step(k, n_steps, base))
+            exp = results[("figure2", ci, k)]
+            points.append(
+                SeriesPoint(params.raw_storage_tb, exp.estimate("storage_availability"))
+            )
+        series.append(Series(config.label, tuple(points)))
+    return FigureResult(
+        figure_id="Figure 2",
+        title="Availability of storage with respect to disk failures "
+        "(label = Weibull shape, AFR %, RAID config, replacement hours)",
+        x_label="storage (TB)",
+        y_label="storage availability",
+        series=tuple(series),
+    )
+
+
 def run_figure2(
     configs: tuple[Figure2Config, ...] = DEFAULT_CONFIGS,
     n_steps: int = 10,
@@ -79,35 +130,13 @@ def run_figure2(
 
     Parameters mirror the paper's experiment: a storage-size sweep (ABE →
     12 PB) for each disk-failure configuration, storage hardware only.
-    Reduce ``n_steps`` / ``n_replications`` / ``hours`` for quick runs;
-    ``n_jobs`` parallelizes the replications of each sweep point without
-    changing any result.
+    Reduce ``n_steps`` / ``n_replications`` / ``hours`` for quick runs.
+    ``n_jobs`` schedules the grid's independent (configuration,
+    scale-step) cells across worker processes
+    (:func:`repro.experiments.sweep.run_sweep`); every cell is seeded
+    from its grid coordinates, so results are bit-identical for any
+    value.
     """
     base = base if base is not None else abe_parameters()
-    series: list[Series] = []
-    for ci, config in enumerate(configs):
-        points: list[SeriesPoint] = []
-        for k in range(1, n_steps + 1):
-            params = config.apply(scale_step(k, n_steps, base))
-            model = StorageModel(params, base_seed=base_seed + 1000 * ci + k)
-            exp = replicate_runs(
-                model.simulator,
-                hours,
-                n_replications=n_replications,
-                rewards=model.measures.rewards,
-                extra_metrics=model.measures.extra_metrics,
-                n_jobs=n_jobs,
-                spec=model.replication_spec(),
-            )
-            points.append(
-                SeriesPoint(params.raw_storage_tb, exp.estimate("storage_availability"))
-            )
-        series.append(Series(config.label, tuple(points)))
-    return FigureResult(
-        figure_id="Figure 2",
-        title="Availability of storage with respect to disk failures "
-        "(label = Weibull shape, AFR %, RAID config, replacement hours)",
-        x_label="storage (TB)",
-        y_label="storage availability",
-        series=tuple(series),
-    )
+    cells = figure2_cells(configs, n_steps, n_replications, hours, base_seed, base)
+    return _assemble_figure2(run_sweep(cells, n_jobs=n_jobs), configs, n_steps, base)

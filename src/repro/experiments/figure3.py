@@ -17,11 +17,16 @@ from dataclasses import dataclass
 from ..cfs.cluster import StorageModel
 from ..cfs.parameters import CFSParameters, abe_parameters
 from ..cfs.scaling import scale_step
-from ..core.experiment import replicate_runs
 from ..raid.config import RAID6_8P2
 from .runner import FigureResult, Series, SeriesPoint
+from .sweep import SweepCell, SweepResult, replication_cell, run_sweep
 
-__all__ = ["DEFAULT_AFRS", "run_figure3", "expected_replacements_per_week"]
+__all__ = [
+    "DEFAULT_AFRS",
+    "figure3_cells",
+    "run_figure3",
+    "expected_replacements_per_week",
+]
 
 #: The paper's curves: AFR 8.76 / 4.38 / 2.92 / 0.88 % at β = 0.7.
 DEFAULT_AFRS: tuple[float, ...] = (0.0876, 0.0438, 0.0292, 0.0088)
@@ -38,7 +43,15 @@ def expected_replacements_per_week(n_disks: int, afr: float) -> float:
     return n_disks * afr / weeks_per_year
 
 
-def run_figure3(
+def _figure3_params(
+    afr: float, k: int, n_steps: int, shape: float, base: CFSParameters
+) -> CFSParameters:
+    return scale_step(k, n_steps, base).with_disks(
+        shape=shape, afr=afr, raid=RAID6_8P2, replacement_hours=4.0
+    )
+
+
+def figure3_cells(
     afrs: tuple[float, ...] = DEFAULT_AFRS,
     n_steps: int = 10,
     n_replications: int = 6,
@@ -46,31 +59,37 @@ def run_figure3(
     base_seed: int = 3,
     shape: float = 0.7,
     base: CFSParameters | None = None,
-    n_jobs: int | None = 1,
-) -> FigureResult:
-    """Regenerate Figure 3 (disk replacements per week vs fleet size).
-
-    ``n_jobs`` parallelizes the replications of each sweep point without
-    changing any result.
-    """
+) -> list[SweepCell]:
+    """The Figure 3 grid: one cell per (AFR, scale-step)."""
     base = base if base is not None else abe_parameters()
+    cells: list[SweepCell] = []
+    for ci, afr in enumerate(afrs):
+        for k in range(1, n_steps + 1):
+            params = _figure3_params(afr, k, n_steps, shape, base)
+            cells.append(
+                replication_cell(
+                    ("figure3", ci, k),
+                    StorageModel.spec(params, base_seed + 1000 * ci + k),
+                    hours,
+                    n_replications,
+                )
+            )
+    return cells
+
+
+def _assemble_figure3(
+    results: SweepResult,
+    afrs: tuple[float, ...],
+    n_steps: int,
+    shape: float,
+    base: CFSParameters,
+) -> FigureResult:
     series: list[Series] = []
     for ci, afr in enumerate(afrs):
         points: list[SeriesPoint] = []
         for k in range(1, n_steps + 1):
-            params = scale_step(k, n_steps, base).with_disks(
-                shape=shape, afr=afr, raid=RAID6_8P2, replacement_hours=4.0
-            )
-            model = StorageModel(params, base_seed=base_seed + 1000 * ci + k)
-            exp = replicate_runs(
-                model.simulator,
-                hours,
-                n_replications=n_replications,
-                rewards=model.measures.rewards,
-                extra_metrics=model.measures.extra_metrics,
-                n_jobs=n_jobs,
-                spec=model.replication_spec(),
-            )
+            params = _figure3_params(afr, k, n_steps, shape, base)
+            exp = results[("figure3", ci, k)]
             points.append(
                 SeriesPoint(
                     float(params.n_disks), exp.estimate("disks_replaced_per_week")
@@ -86,3 +105,25 @@ def run_figure3(
         y_label="disk replacements per week",
         series=tuple(series),
     )
+
+
+def run_figure3(
+    afrs: tuple[float, ...] = DEFAULT_AFRS,
+    n_steps: int = 10,
+    n_replications: int = 6,
+    hours: float = 8760.0,
+    base_seed: int = 3,
+    shape: float = 0.7,
+    base: CFSParameters | None = None,
+    n_jobs: int | None = 1,
+) -> FigureResult:
+    """Regenerate Figure 3 (disk replacements per week vs fleet size).
+
+    ``n_jobs`` schedules the grid's independent (AFR, scale-step) cells
+    across worker processes
+    (:func:`repro.experiments.sweep.run_sweep`); cells are seeded from
+    their grid coordinates, so results are bit-identical for any value.
+    """
+    base = base if base is not None else abe_parameters()
+    cells = figure3_cells(afrs, n_steps, n_replications, hours, base_seed, shape, base)
+    return _assemble_figure3(run_sweep(cells, n_jobs=n_jobs), afrs, n_steps, shape, base)

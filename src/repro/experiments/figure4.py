@@ -17,47 +17,71 @@ from ..cfs.cluster import ClusterModel
 from ..cfs.parameters import CFSParameters, abe_parameters
 from ..cfs.scaling import scale_step
 from .runner import FigureResult, Series, SeriesPoint
+from .sweep import SweepCell, SweepResult, replication_cell, run_sweep
 
-__all__ = ["run_figure4"]
+__all__ = ["figure4_cells", "run_figure4"]
 
 
-def run_figure4(
+def figure4_cells(
     n_steps: int = 6,
     n_replications: int = 8,
     hours: float = 8760.0,
     base_seed: int = 4,
     base: CFSParameters | None = None,
     include_spare: bool = True,
-    n_jobs: int | None = 1,
-) -> FigureResult:
-    """Regenerate Figure 4 (full composed model, all four curves).
+) -> list[SweepCell]:
+    """The Figure 4 grid: one full-cluster cell per scale step, plus a
+    spare-OSS variant per step when ``include_spare``.
 
-    ``n_jobs`` parallelizes the replications of each sweep point without
-    changing any result.
+    These are the heaviest cells of the whole report (a petascale year
+    costs ~25× an ABE year, see BENCH_engine.json), which is exactly why
+    cell-level scheduling pays: the spare/no-spare studies at each step
+    are independent and pipeline across workers.
     """
     base = base if base is not None else abe_parameters()
+    cells: list[SweepCell] = []
+    for k in range(1, n_steps + 1):
+        params = scale_step(k, n_steps, base)
+        cells.append(
+            replication_cell(
+                ("figure4", k, "main"),
+                ClusterModel.spec(params, base_seed + k),
+                hours,
+                n_replications,
+            )
+        )
+        if include_spare:
+            cells.append(
+                replication_cell(
+                    ("figure4", k, "spare"),
+                    ClusterModel.spec(params.with_spare_oss(1), base_seed + 100 + k),
+                    hours,
+                    n_replications,
+                )
+            )
+    return cells
+
+
+def _assemble_figure4(
+    results: SweepResult,
+    n_steps: int,
+    base: CFSParameters,
+    include_spare: bool,
+) -> FigureResult:
     storage_pts: list[SeriesPoint] = []
     cfs_pts: list[SeriesPoint] = []
     cu_pts: list[SeriesPoint] = []
     spare_pts: list[SeriesPoint] = []
 
     for k in range(1, n_steps + 1):
-        params = scale_step(k, n_steps, base)
-        x = params.raw_storage_tb
-        result = ClusterModel(params, base_seed=base_seed + k).simulate(
-            hours=hours, n_replications=n_replications, n_jobs=n_jobs
-        )
-        storage_pts.append(SeriesPoint(x, result.storage_availability))
-        cfs_pts.append(SeriesPoint(x, result.cfs_availability))
-        cu_pts.append(SeriesPoint(x, result.cluster_utility))
+        x = scale_step(k, n_steps, base).raw_storage_tb
+        exp = results[("figure4", k, "main")]
+        storage_pts.append(SeriesPoint(x, exp.estimate("storage_availability")))
+        cfs_pts.append(SeriesPoint(x, exp.estimate("cfs_availability")))
+        cu_pts.append(SeriesPoint(x, exp.estimate("cluster_utility")))
         if include_spare:
-            spare_params = params.with_spare_oss(1)
-            spare_result = ClusterModel(
-                spare_params, base_seed=base_seed + 100 + k
-            ).simulate(
-                hours=hours, n_replications=n_replications, n_jobs=n_jobs
-            )
-            spare_pts.append(SeriesPoint(x, spare_result.cfs_availability))
+            spare_exp = results[("figure4", k, "spare")]
+            spare_pts.append(SeriesPoint(x, spare_exp.estimate("cfs_availability")))
 
     series = [
         Series("Storage-availability", tuple(storage_pts)),
@@ -73,4 +97,29 @@ def run_figure4(
         x_label="storage (TB)",
         y_label="availability / utility",
         series=tuple(series),
+    )
+
+
+def run_figure4(
+    n_steps: int = 6,
+    n_replications: int = 8,
+    hours: float = 8760.0,
+    base_seed: int = 4,
+    base: CFSParameters | None = None,
+    include_spare: bool = True,
+    n_jobs: int | None = 1,
+) -> FigureResult:
+    """Regenerate Figure 4 (full composed model, all four curves).
+
+    ``n_jobs`` schedules the independent (scale-step, spare-variant)
+    cells across worker processes
+    (:func:`repro.experiments.sweep.run_sweep`); cells are seeded from
+    their grid coordinates, so results are bit-identical for any value.
+    """
+    base = base if base is not None else abe_parameters()
+    cells = figure4_cells(
+        n_steps, n_replications, hours, base_seed, base, include_spare
+    )
+    return _assemble_figure4(
+        run_sweep(cells, n_jobs=n_jobs), n_steps, base, include_spare
     )

@@ -1,0 +1,205 @@
+"""Sweep-cell orchestration: schedule independent experiment cells.
+
+Every figure and table of the paper is a *grid* of independent cells —
+one (configuration, scale-step) point of a storage sweep, one composed
+cluster study, one synthesized-log analysis.  PR 1 parallelized the
+replications *inside* one cell; this module parallelizes the cells
+themselves, which is where the real wall-clock of a whole-figure
+regeneration lives (a Figure 2 run is 50 cells of 8 replications each).
+
+A :class:`SweepCell` names a module-level function plus picklable
+arguments; :func:`run_sweep` executes the cells of a grid either
+serially (in grid order) or across a shared
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The determinism
+contract mirrors :mod:`repro.core.parallel`:
+
+* a cell function must be a **pure function of its arguments** — any
+  randomness must come from seeds passed in the arguments (the
+  regenerators derive one base seed per cell from the seed tree, e.g.
+  ``base_seed + 1000 * config_index + step``), never from global state;
+* therefore a cell's result does not depend on *where* or *in what
+  order* cells execute, and ``run_sweep(cells, n_jobs=k)`` returns
+  results **bit-identical to serial execution for any k** (asserted
+  float-for-float by ``tests/test_sweep.py``);
+* cells run their replications serially (``n_jobs=1`` inside the cell):
+  with more cells than workers, cell-level scheduling already saturates
+  the pool without nesting process pools.
+
+:func:`replication_cell` builds the most common cell shape — one
+:class:`~repro.core.parallel.ReplicationSpec` study summarized as an
+:class:`~repro.core.experiment.ExperimentResult` — and each regenerator
+module exposes a ``*_cells()`` builder so whole-report runs
+(:func:`repro.experiments.run_all`, ``python -m repro all --jobs -1``)
+can flatten every table and figure into one grid and schedule it as a
+single pool of ~60 cells.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..core.errors import SimulationError
+from ..core.experiment import ExperimentResult, replicate_runs
+from ..core.parallel import ReplicationSpec, pool_context, resolve_n_jobs
+
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "replication_cell",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent cell of an experiment grid.
+
+    Attributes
+    ----------
+    key:
+        Hashable identifier, unique within a grid (e.g.
+        ``("figure2", config_index, step)``).  Results are addressed by
+        key, so scheduling order never leaks into assembly.
+    fn:
+        Module-level callable executing the cell.  It must be importable
+        (workers unpickle it by qualified name) and a pure function of
+        its arguments — all randomness seeded through ``args``/``kwargs``.
+    args / kwargs:
+        Picklable call arguments.
+    """
+
+    key: object
+    fn: Callable
+    args: tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+
+    def execute(self) -> object:
+        """Run the cell in the current process."""
+        return self.fn(*self.args, **dict(self.kwargs))
+
+
+class SweepResult(dict):
+    """Results of one sweep: a dict keyed by cell key, in grid order.
+
+    Plain mapping semantics (indexing, iteration, ``values()`` — all in
+    grid order, since insertion order is grid order) with a lookup error
+    that names the available cells.
+    """
+
+    def __getitem__(self, key: object) -> object:
+        try:
+            return super().__getitem__(key)
+        except KeyError:
+            raise KeyError(
+                f"no sweep cell {key!r}; available: {list(self)}"
+            ) from None
+
+
+def _run_replication_cell(
+    spec: ReplicationSpec,
+    hours: float,
+    n_replications: int,
+    warmup: float,
+    confidence: float,
+    n_jobs: int = 1,
+) -> ExperimentResult:
+    """Execute one replication-study cell (in whatever process hosts it).
+
+    The spec rebuilds the simulator/rewards/metrics; replication ``k``
+    draws from stream ``(base_seed, "run", k)`` exactly as a direct
+    serial :func:`~repro.core.experiment.replicate_runs` call would, so
+    the cell's samples are bit-identical however the cell is scheduled
+    (and for any inner ``n_jobs``).
+    """
+    setup = spec.build()
+    return replicate_runs(
+        setup.simulator,
+        hours,
+        n_replications=n_replications,
+        warmup=warmup,
+        rewards=setup.rewards,
+        traces_factory=setup.traces_factory,
+        extra_metrics=setup.extra_metrics,
+        confidence=confidence,
+        n_jobs=n_jobs,
+        spec=spec if n_jobs != 1 else None,
+    )
+
+
+def replication_cell(
+    key: object,
+    spec: ReplicationSpec,
+    hours: float,
+    n_replications: int,
+    *,
+    warmup: float = 0.0,
+    confidence: float = 0.95,
+    n_jobs: int = 1,
+) -> SweepCell:
+    """Build the standard cell: one replicated study from a picklable spec.
+
+    The cell result is an :class:`~repro.core.experiment.ExperimentResult`
+    carrying the per-replication samples of every metric the spec's
+    rewards define.  ``n_jobs`` parallelizes the replications *inside*
+    the cell (default serial): useful when a grid has fewer cells than
+    the host has cores (e.g. the 3-cell ``calibrate`` command), since
+    cell-level scheduling alone cannot use the spare workers.
+    """
+    return SweepCell(
+        key,
+        _run_replication_cell,
+        (
+            spec,
+            float(hours),
+            int(n_replications),
+            float(warmup),
+            float(confidence),
+            int(n_jobs),
+        ),
+    )
+
+
+def _execute_indexed(task: tuple[int, SweepCell]) -> tuple[int, object]:
+    index, cell = task
+    return index, cell.execute()
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    *,
+    n_jobs: int | None = 1,
+) -> SweepResult:
+    """Execute a grid of independent cells, serially or across processes.
+
+    Parameters
+    ----------
+    cells:
+        The grid.  Keys must be unique; cells must be picklable when
+        ``n_jobs > 1`` (module-level ``fn``, picklable arguments).
+    n_jobs:
+        Worker processes scheduling whole cells (1 = serial in grid
+        order, -1 = all cores).  Because every cell is a pure function
+        of its seeded arguments, results are bit-identical for any
+        value; only wall-clock changes.  Cells are dispatched one at a
+        time (``chunksize=1``) so a grid mixing cheap ABE points with
+        expensive petascale points load-balances dynamically.
+    """
+    cells = list(cells)
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({repr(k) for k in keys if keys.count(k) > 1})
+        raise SimulationError(f"duplicate sweep cell keys: {dupes}")
+
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs <= 1 or len(cells) <= 1:
+        return SweepResult((c.key, c.execute()) for c in cells)
+
+    jobs = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=pool_context()) as pool:
+        indexed = pool.map(_execute_indexed, enumerate(cells), chunksize=1)
+        by_index = dict(indexed)
+    # pool.map preserves submission order, but rebuild by index anyway so
+    # grid order never depends on executor iteration semantics.
+    return SweepResult((cells[i].key, by_index[i]) for i in range(len(cells)))

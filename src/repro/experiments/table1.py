@@ -18,10 +18,11 @@ from ..analysis.availability import (
 )
 from ..analysis.filtering import Outage, pair_outages
 from ..cfs.parameters import CFSParameters
-from ..loggen.abe import AbeLogs, generate_abe_logs
+from ..loggen.abe import AbeLogs, cached_abe_logs
 from .runner import TableResult
+from .sweep import SweepCell
 
-__all__ = ["Table1Result", "run_table1"]
+__all__ = ["Table1Result", "table1_cell", "run_table1"]
 
 
 @dataclass(frozen=True)
@@ -46,13 +47,24 @@ class Table1Result:
         )
 
 
+def table1_cell(params: CFSParameters | None = None, seed: int = 2013) -> SweepCell:
+    """Table 1 as a sweep cell (log synthesis + outage analysis)."""
+    return SweepCell("table1", run_table1, (params, seed))
+
+
 def run_table1(
     params: CFSParameters | None = None,
     seed: int = 2013,
     logs: AbeLogs | None = None,
 ) -> Table1Result:
-    """Regenerate Table 1 from a synthesized SAN-log."""
-    logs = logs if logs is not None else generate_abe_logs(params, seed=seed)
+    """Regenerate Table 1 from a synthesized SAN-log.
+
+    With default parameters the synthesized log set is shared with the
+    other table regenerators through a per-process cache, so a grid of
+    table cells pays for log synthesis once per process.
+    """
+    if logs is None:
+        logs = cached_abe_logs(seed, params)
     w = logs.windows
     outage_log = logs.san_log.component("san", "batch")
     outages = pair_outages(outage_log, window_end=w.san_end)

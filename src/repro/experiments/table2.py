@@ -14,10 +14,11 @@ from datetime import date, datetime
 
 from ..analysis.filtering import mount_failures_by_day
 from ..cfs.parameters import CFSParameters
-from ..loggen.abe import AbeLogs, generate_abe_logs
+from ..loggen.abe import AbeLogs, cached_abe_logs
 from .runner import TableResult
+from .sweep import SweepCell
 
-__all__ = ["Table2Result", "run_table2"]
+__all__ = ["Table2Result", "table2_cell", "run_table2"]
 
 #: The paper's Table 2 window.
 WINDOW_START = datetime(2007, 7, 1)
@@ -46,13 +47,19 @@ class Table2Result:
         return self.table.format()
 
 
+def table2_cell(params: CFSParameters | None = None, seed: int = 2013) -> SweepCell:
+    """Table 2 as a sweep cell (log synthesis + mount-failure counts)."""
+    return SweepCell("table2", run_table2, (params, seed))
+
+
 def run_table2(
     params: CFSParameters | None = None,
     seed: int = 2013,
     logs: AbeLogs | None = None,
 ) -> Table2Result:
     """Regenerate Table 2 from the synthesized compute-log."""
-    logs = logs if logs is not None else generate_abe_logs(params, seed=seed)
+    if logs is None:
+        logs = cached_abe_logs(seed, params)
     window = logs.compute_log.between(WINDOW_START, WINDOW_END)
     counts = mount_failures_by_day(window)
     rows = tuple(

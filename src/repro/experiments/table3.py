@@ -13,10 +13,11 @@ from datetime import datetime
 
 from ..analysis.jobs import JobStatistics, job_statistics
 from ..cfs.parameters import CFSParameters
-from ..loggen.abe import AbeLogs, generate_abe_logs
+from ..loggen.abe import AbeLogs, cached_abe_logs
 from .runner import TableResult
+from .sweep import SweepCell
 
-__all__ = ["Table3Result", "run_table3"]
+__all__ = ["Table3Result", "table3_cell", "run_table3"]
 
 #: The paper's Table 3 window.
 WINDOW_START = datetime(2007, 5, 13)
@@ -42,13 +43,19 @@ class Table3Result:
         )
 
 
+def table3_cell(params: CFSParameters | None = None, seed: int = 2013) -> SweepCell:
+    """Table 3 as a sweep cell (log synthesis + job statistics)."""
+    return SweepCell("table3", run_table3, (params, seed))
+
+
 def run_table3(
     params: CFSParameters | None = None,
     seed: int = 2013,
     logs: AbeLogs | None = None,
 ) -> Table3Result:
     """Regenerate Table 3 from the synthesized job records."""
-    logs = logs if logs is not None else generate_abe_logs(params, seed=seed)
+    if logs is None:
+        logs = cached_abe_logs(seed, params)
     jobs = [
         j for j in logs.jobs if WINDOW_START <= j.submit_time < WINDOW_END
     ]

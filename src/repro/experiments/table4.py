@@ -22,8 +22,9 @@ from ..cfs.parameters import CFSParameters, abe_parameters
 from ..core.rng import make_generator
 from ..loggen.disks import DiskSurvivalData, disk_survival_dataset
 from .runner import TableResult
+from .sweep import SweepCell
 
-__all__ = ["Table4Result", "run_table4"]
+__all__ = ["Table4Result", "table4_cell", "run_table4"]
 
 #: Fleet deployment (ABE came online in spring 2007).
 DEPLOYMENT = datetime(2007, 4, 1)
@@ -53,6 +54,11 @@ class Table4Result:
             + f"(paper: 0.6963571 with sd 0.1923109; ground truth 0.7)"
             + f"\nimplied MTBF {self.fit.mtbf_hours:,.0f} h, AFR {100*self.fit.afr:.2f}%"
         )
+
+
+def table4_cell(params: CFSParameters | None = None, seed: int = 496) -> SweepCell:
+    """Table 4 as a sweep cell (fleet survival dataset + Weibull re-fit)."""
+    return SweepCell("table4", run_table4, (params, seed))
 
 
 def run_table4(

@@ -11,8 +11,9 @@ from dataclasses import dataclass
 
 from ..cfs.parameters import TABLE5_RANGES, CFSParameters, abe_parameters, petascale_parameters
 from .runner import TableResult
+from .sweep import SweepCell
 
-__all__ = ["Table5Result", "run_table5"]
+__all__ = ["Table5Result", "table5_cell", "run_table5"]
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,11 @@ class Table5Result:
     def format(self) -> str:
         """Render the parameter table."""
         return self.table.format()
+
+
+def table5_cell() -> SweepCell:
+    """Table 5 as a sweep cell (parameter-preset rendering)."""
+    return SweepCell("table5", run_table5)
 
 
 def run_table5() -> Table5Result:

@@ -7,6 +7,7 @@ from .abe import (
     SAN_LOG_START,
     AbeLogWindows,
     AbeLogs,
+    cached_abe_logs,
     generate_abe_logs,
 )
 from .disks import DiskSurvivalData, disk_survival_dataset
@@ -25,6 +26,7 @@ __all__ = [
     "AbeLogWindows",
     "AbeLogs",
     "generate_abe_logs",
+    "cached_abe_logs",
     "COMPUTE_LOG_START",
     "COMPUTE_LOG_END",
     "SAN_LOG_START",

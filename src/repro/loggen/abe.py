@@ -85,6 +85,51 @@ class AbeLogs:
     ground_truth: GroundTruth
 
 
+#: Small per-process cache for default-parameter log synthesis, keyed by
+#: seed.  Sweep cells for Tables 1-3 each need the same synthesized log
+#: set; when several of them execute in one process (serial sweeps), the
+#: ~2 s simulation+synthesis runs once instead of once per table.
+_LOGS_CACHE: dict[int, AbeLogs] = {}
+_LOGS_CACHE_MAX = 4
+
+
+def cached_abe_logs(
+    seed: int = 2013, params: "CFSParameters | None" = None
+) -> AbeLogs:
+    """Memoized :func:`generate_abe_logs`.
+
+    Only default-parameter synthesis is cached (keyed by seed); explicit
+    ``params`` delegate straight to :func:`generate_abe_logs`, so the
+    Table 1-3 regenerators can call this unconditionally.  ``AbeLogs``
+    is immutable by convention (frozen dataclasses over event lists that
+    no consumer mutates), so sharing one instance across regenerators is
+    safe and is exactly what the pre-sweep ``run_all`` did explicitly.
+    """
+    if params is not None:
+        return generate_abe_logs(params, seed=seed)
+    logs = _LOGS_CACHE.get(seed)
+    if logs is None:
+        if len(_LOGS_CACHE) >= _LOGS_CACHE_MAX:
+            _LOGS_CACHE.clear()
+        logs = _LOGS_CACHE[seed] = generate_abe_logs(seed=seed)
+    return logs
+
+
+def warm_logs_cache_for_pool(seed: int, n_jobs: int | None) -> None:
+    """Warm :func:`cached_abe_logs` before a sweep pool is created.
+
+    Forked workers inherit the populated cache copy-on-write, so a grid
+    containing the Table 1-3 cells pays for log synthesis once instead
+    of once per worker.  A no-op when the run is serial or the platform
+    pools via ``spawn`` (workers start cold regardless, so pre-warming
+    the parent would be pure overhead).
+    """
+    from ..core.parallel import pool_context, resolve_n_jobs
+
+    if resolve_n_jobs(n_jobs) > 1 and pool_context().get_start_method() == "fork":
+        cached_abe_logs(seed)
+
+
 def generate_abe_logs(
     params: CFSParameters | None = None,
     seed: int = 2013,

@@ -47,6 +47,11 @@ def build_two_state_san(
     return san
 
 
+def square_cell_fn(x: int) -> int:
+    """Module-level sweep-cell function (workers import it by name)."""
+    return x * x
+
+
 def build_fleet_node(n_units: int, fail_rate: float = 0.01, repair_rate: float = 0.1):
     """A replicated fleet with a shared down counter (the throughput model)."""
     unit = SAN("unit")

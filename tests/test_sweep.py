@@ -1,0 +1,183 @@
+"""Sweep-cell orchestration: scheduling, determinism, regenerator grids.
+
+A sweep cell is a pure function of its seeded arguments, so
+``run_sweep(cells, n_jobs=k)`` must return results bit-identical to
+serial execution for every ``k`` — these tests assert float equality,
+not approximation, mirroring ``tests/test_parallel.py`` one level up.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cfs import abe_parameters
+from repro.cfs.cluster import ClusterModel, StorageModel
+from repro.core import SimulationError
+from repro.experiments import (
+    SweepCell,
+    replication_cell,
+    run_figure2,
+    run_figure4,
+    run_sweep,
+    table4_cell,
+    table5_cell,
+)
+from repro.experiments.sweep import SweepResult
+
+from _helpers import square_cell_fn
+
+HOURS = 1200.0
+
+
+def _storage_cells(n=3, reps=2):
+    params = abe_parameters()
+    return [
+        replication_cell(
+            ("cell", i), StorageModel.spec(params, 96 + i), HOURS, reps
+        )
+        for i in range(n)
+    ]
+
+
+class TestRunSweep:
+    def test_serial_matches_direct_execution(self):
+        cells = _storage_cells(n=2)
+        results = run_sweep(cells, n_jobs=1)
+        for cell in cells:
+            direct = cell.execute()
+            swept = results[cell.key]
+            assert swept.metrics == direct.metrics
+            for m in direct.metrics:
+                assert swept.samples(m) == direct.samples(m)
+
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_parallel_bit_identical_per_cell(self, n_jobs):
+        serial = run_sweep(_storage_cells(), n_jobs=1)
+        parallel = run_sweep(_storage_cells(), n_jobs=n_jobs)
+        assert list(serial) == list(parallel)
+        for key in serial:
+            s, p = serial[key], parallel[key]
+            assert s.metrics == p.metrics
+            for m in s.metrics:
+                assert p.samples(m) == s.samples(m)
+
+    def test_more_jobs_than_cells(self):
+        serial = run_sweep(_storage_cells(n=2), n_jobs=1)
+        parallel = run_sweep(_storage_cells(n=2), n_jobs=8)
+        for key in serial:
+            for m in serial[key].metrics:
+                assert parallel[key].samples(m) == serial[key].samples(m)
+
+    def test_generic_cells_and_ordering(self):
+        cells = [SweepCell(i, square_cell_fn, (i,)) for i in (3, 1, 2)]
+        result = run_sweep(cells, n_jobs=2)
+        assert list(result) == [3, 1, 2]  # grid order, not completion order
+        assert list(result.values()) == [9, 1, 4]
+        assert list(result.items()) == [(3, 9), (1, 1), (2, 4)]
+        assert len(result) == 3 and 1 in result and 7 not in result
+
+    def test_duplicate_keys_rejected(self):
+        cells = [
+            SweepCell("a", square_cell_fn, (1,)),
+            SweepCell("a", square_cell_fn, (2,)),
+        ]
+        with pytest.raises(SimulationError, match="duplicate"):
+            run_sweep(cells)
+
+    def test_unknown_key_error(self):
+        result = run_sweep([SweepCell("a", square_cell_fn, (2,))])
+        with pytest.raises(KeyError, match="available"):
+            result["b"]
+
+    def test_cells_picklable(self):
+        cell = _storage_cells(n=1)[0]
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone.key == cell.key
+
+
+class TestReplicationCell:
+    def test_matches_model_simulate(self):
+        """A cluster cell reproduces ClusterModel.simulate exactly."""
+        params = abe_parameters()
+        direct = ClusterModel(params, base_seed=2008).simulate(
+            hours=HOURS, n_replications=3
+        )
+        cell = replication_cell(
+            "abe", ClusterModel.spec(params, 2008), HOURS, 3
+        )
+        swept = run_sweep([cell])["abe"]
+        assert swept.metrics == direct.experiment.metrics
+        for m in swept.metrics:
+            assert swept.samples(m) == direct.experiment.samples(m)
+
+    def test_inner_replication_jobs_identical(self):
+        """replication_cell(n_jobs=k) changes wall-clock only."""
+        params = abe_parameters()
+        spec = StorageModel.spec(params, 96)
+        serial = replication_cell("c", spec, HOURS, 4).execute()
+        inner = replication_cell("c", spec, HOURS, 4, n_jobs=2).execute()
+        for m in serial.metrics:
+            assert inner.samples(m) == serial.samples(m)
+
+    def test_nested_pools_identical(self):
+        """Cells across workers x replications across inner pools (the
+        calibrate --jobs split) stays bit-identical to all-serial."""
+        params = abe_parameters()
+
+        def cells(n_jobs):
+            return [
+                replication_cell(
+                    ("c", i),
+                    StorageModel.spec(params, 96 + i),
+                    800.0,
+                    2,
+                    n_jobs=n_jobs,
+                )
+                for i in range(2)
+            ]
+
+        serial = run_sweep(cells(1), n_jobs=1)
+        nested = run_sweep(cells(2), n_jobs=2)
+        for key in serial:
+            for m in serial[key].metrics:
+                assert nested[key].samples(m) == serial[key].samples(m)
+
+    def test_result_is_picklable_experiment(self):
+        cell = _storage_cells(n=1)[0]
+        result = cell.execute()
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.samples("storage_availability") == result.samples(
+            "storage_availability"
+        )
+
+
+class TestRegeneratorGrids:
+    """The figure/table regenerators run through the scheduler."""
+
+    @pytest.mark.parametrize("n_jobs", [2])
+    def test_figure2_serial_parallel_identical(self, n_jobs):
+        kwargs = dict(n_steps=2, n_replications=2, hours=600.0)
+        assert run_figure2(**kwargs, n_jobs=1) == run_figure2(
+            **kwargs, n_jobs=n_jobs
+        )
+
+    def test_figure4_serial_parallel_identical(self):
+        kwargs = dict(n_steps=2, n_replications=2, hours=400.0)
+        assert run_figure4(**kwargs, n_jobs=1) == run_figure4(
+            **kwargs, n_jobs=2
+        )
+
+    def test_table_cells_through_scheduler(self):
+        results = run_sweep([table4_cell(), table5_cell()], n_jobs=2)
+        assert "Weibull regression" in results["table4"].format()
+        assert "Disk MTBF" in results["table5"].format()
+
+    def test_mixed_grid(self):
+        """Tables and figure points coexist in one grid (run_all's shape)."""
+        cells = [table5_cell()] + _storage_cells(n=1)
+        results = run_sweep(cells, n_jobs=2)
+        assert list(results) == ["table5", ("cell", 0)]
+        assert "8+2" in results["table5"].format()
+        assert 0.0 <= results[("cell", 0)].mean("storage_availability") <= 1.0
