@@ -67,6 +67,20 @@ def build_storage_only_model(params: CFSParameters) -> FlatModel:
     return flatten(build_storage_node(params))
 
 
+def _make_cluster_simulator(model: FlatModel, base_seed: int) -> Simulator:
+    """The cluster studies' simulator configuration, in one place.
+
+    ``batch_dynamic=True``: the disk fleet draws its lifetimes through a
+    marking-dependent callable (equilibrium residual for in-service
+    disks, fresh Weibull after replacement), so block-serving dynamic
+    draws is where the petascale model's sampling time lives.  Serial
+    and parallel runs must agree bit-for-bit, so every path that builds
+    a cluster simulator — :class:`ClusterModel` and the worker-side
+    :func:`_cluster_setup` — goes through this helper.
+    """
+    return Simulator(model, base_seed=base_seed, batch_dynamic=True)
+
+
 def _cluster_setup(
     params: CFSParameters,
     base_seed: int,
@@ -78,7 +92,7 @@ def _cluster_setup(
         model, params, availability_probes=availability_probes
     )
     return ReplicationSetup(
-        Simulator(model, base_seed=base_seed),
+        _make_cluster_simulator(model, base_seed),
         measures.rewards,
         measures.traces_factory,
         measures.extra_metrics,
@@ -159,7 +173,7 @@ class ClusterModel:
         self.params = params
         self.base_seed = int(base_seed)
         self.model = flatten(build_cluster_node(params))
-        self.simulator = Simulator(self.model, base_seed=base_seed)
+        self.simulator = _make_cluster_simulator(self.model, base_seed)
         self.measures = build_measures(self.model, params)
 
     @staticmethod
@@ -230,7 +244,13 @@ class ClusterModel:
 
 
 class StorageModel:
-    """Flattened DDN fleet for the storage-isolation experiments."""
+    """Flattened DDN fleet for the storage-isolation experiments.
+
+    Uses the default :class:`Simulator` sampling configuration (no
+    ``batch_dynamic``): the storage studies' default-mode trajectories
+    are pinned bit-for-bit by ``tests/data/reward_golden.json`` and stay
+    on the historical stream.
+    """
 
     def __init__(self, params: CFSParameters, base_seed: int = 96) -> None:
         self.params = params

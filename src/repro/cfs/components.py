@@ -17,8 +17,12 @@ reward measures read (see :mod:`repro.cfs.measures`).
 The single-place enabling predicates declare their dependency sets
 (``timed(..., reads=[...])``), so the compiled engine skips read tracking
 for them — this matters most for the leaf-switch transients, which are
-~97 % of all events in a petascale year.  Trajectories are bit-identical
-to tracked discovery (pinned by ``tests/test_engine_golden.py``).
+~97 % of all events in a petascale year.  Their effects additionally
+declare their marking writes (``writes=[...]``), so those completions
+run as compiled gate-write kernels — precomputed slot deltas instead of
+Python gate functions (see ``docs/performance.md`` Layer 5).  Both
+annotations are bit-identical to the unannotated model (pinned by
+``tests/test_engine_golden.py``).
 """
 
 from __future__ import annotations
@@ -80,6 +84,11 @@ def build_oss_software_san(params: CFSParameters, name: str = "lustre") -> SAN:
         enabled=lambda m: m["sw_down"] == 0,
         effect=fails,
         reads=["sw_down"],
+        writes=[
+            ("sw_down", "set", 1),
+            ("oss_sw_down", "add", 1),
+            ("oss_sw_outages_total", "add", 1),
+        ],
     )
     san.timed(
         "fsck",
@@ -87,6 +96,7 @@ def build_oss_software_san(params: CFSParameters, name: str = "lustre") -> SAN:
         enabled=lambda m: m["sw_down"] == 1,
         effect=repaired,
         reads=["sw_down"],
+        writes=[("sw_down", "set", 0), ("oss_sw_down", "add", -1)],
     )
     return san
 
@@ -228,6 +238,7 @@ def build_san_fabric_san(params: CFSParameters, name: str = "san_fabric") -> SAN
         enabled=lambda m: m["fabric_down"] == 0,
         effect=fails,
         reads=["fabric_down"],
+        writes=[("fabric_down", "set", 1), ("fabric_outages_total", "add", 1)],
     )
     san.timed(
         "hw_repair",
@@ -235,6 +246,7 @@ def build_san_fabric_san(params: CFSParameters, name: str = "san_fabric") -> SAN
         enabled=lambda m: m["fabric_down"] == 1,
         effect=lambda m, rng: m.__setitem__("fabric_down", 0),
         reads=["fabric_down"],
+        writes=[("fabric_down", "set", 0)],
     )
     return san
 
@@ -270,6 +282,11 @@ def build_leaf_switch_san(params: CFSParameters, name: str = "switch") -> SAN:
         enabled=lambda m: m["sw_up"] == 1,
         effect=transient,
         reads=["sw_up"],
+        writes=[
+            ("sw_up", "set", 0),
+            ("switches_down", "add", 1),
+            ("switch_transients_total", "add", 1),
+        ],
     )
     san.timed(
         "recover",
@@ -277,6 +294,7 @@ def build_leaf_switch_san(params: CFSParameters, name: str = "switch") -> SAN:
         enabled=lambda m: m["sw_up"] == 0,
         effect=recovered,
         reads=["sw_up"],
+        writes=[("sw_up", "set", 1), ("switches_down", "add", -1)],
     )
     return san
 
@@ -302,6 +320,7 @@ def build_spine_san(params: CFSParameters, name: str = "spine") -> SAN:
         enabled=lambda m: m["spine_up"] == 1,
         effect=transient,
         reads=["spine_up"],
+        writes=[("spine_up", "set", 0), ("spine_transients_total", "add", 1)],
     )
     san.timed(
         "recover",
@@ -309,6 +328,7 @@ def build_spine_san(params: CFSParameters, name: str = "spine") -> SAN:
         enabled=lambda m: m["spine_up"] == 0,
         effect=lambda m, rng: m.__setitem__("spine_up", 1),
         reads=["spine_up"],
+        writes=[("spine_up", "set", 1)],
     )
     return san
 

@@ -149,25 +149,25 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .core.parallel import resolve_n_jobs
 
     t0 = time.time()
-    # Only 3 cells: split surplus workers into within-cell replication
-    # parallelism so e.g. --jobs 12 runs 3 cells x 4 replication workers
-    # (results are bit-identical for every split).
+    # Only 3 cells: run_sweep's nested policy splits surplus workers
+    # into within-cell replication parallelism, so e.g. --jobs 12 runs
+    # 3 cells x 4 replication workers (results are bit-identical for
+    # every split).
     jobs = resolve_n_jobs(args.jobs)
-    inner = max(1, jobs // len(presets))
     cells = [
         replication_cell(
             label,
             ClusterModel.spec(params, 2008),
             args.hours,
             args.replications,
-            n_jobs=inner,
         )
         for label, params in presets
     ]
-    results = run_sweep(cells, n_jobs=min(jobs, len(cells)))
+    results = run_sweep(cells, n_jobs=jobs)
     for label, _params in presets:
         est = results[label].estimate("cfs_availability")
         print(f"{label:<32} CFS availability {est}")
+    inner = max(1, jobs // len(cells))
     print(
         f"[{time.time() - t0:.0f}s, {min(jobs, len(cells))} cell worker(s) "
         f"x {inner} replication worker(s)]"

@@ -74,6 +74,26 @@ def mtbf_to_afr(mtbf_hours: float) -> float:
 class Distribution(ABC):
     """A positive continuous distribution for activity firing delays."""
 
+    #: True when :meth:`sample_many` fills its whole output with a single
+    #: vectorized numpy call **and** consumes the RNG stream exactly like
+    #: ``size`` successive :meth:`sample` calls (stream equivalence,
+    #: asserted by ``tests/test_batched_sampling.py``).  The simulator
+    #: only serves a law from :class:`BatchedSampler` blocks when this is
+    #: set.  The flag never survives an override silently: a subclass
+    #: that redefines ``sample`` or ``sample_many`` without declaring
+    #: ``batchable`` in its own body is reset to ``False`` (see
+    #: ``__init_subclass__``), so only classes that explicitly vouch for
+    #: their own stream equivalence are block-served.
+    batchable: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        overrides_sampling = (
+            "sample" in cls.__dict__ or "sample_many" in cls.__dict__
+        )
+        if overrides_sampling and "batchable" not in cls.__dict__:
+            cls.batchable = False
+
     @abstractmethod
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one variate."""
@@ -104,10 +124,14 @@ class BatchedSampler:
 
     One ``rng.<law>(size=n)`` call replaces ``n`` scalar draws, amortizing
     the per-call overhead of :class:`numpy.random.Generator` across a
-    block.  Because a whole block is consumed from the stream at refill
-    time, trajectories differ from per-draw sampling (both are fully
-    deterministic for a fixed seed); the simulator therefore only uses
-    batched sampling when explicitly enabled.
+    block.  Any law whose :meth:`Distribution.sample_many` is a single
+    vectorized call (``Distribution.batchable``) can be served this way —
+    including :class:`EquilibriumResidual`, whose batch is one
+    ``np.interp`` over its cached quantile grid.  Because a whole block
+    is consumed from the stream at refill time, trajectories differ from
+    per-draw sampling (both are fully deterministic for a fixed seed);
+    the simulator therefore only uses batched sampling when explicitly
+    enabled.
 
     The buffer must be :meth:`reset` at the start of every run so that a
     run's draws come exclusively from that run's generator (this is what
@@ -148,6 +172,7 @@ class Exponential(Distribution):
     """Exponential distribution with rate ``rate`` (events per hour)."""
 
     __slots__ = ("rate",)
+    batchable = True
 
     def __init__(self, rate: float) -> None:
         if not rate > 0.0:
@@ -223,6 +248,7 @@ class Uniform(Distribution):
     """Uniform distribution on ``[low, high]``."""
 
     __slots__ = ("low", "high")
+    batchable = True
 
     def __init__(self, low: float, high: float) -> None:
         if not 0.0 <= low <= high:
@@ -259,6 +285,7 @@ class Weibull(Distribution):
     """
 
     __slots__ = ("shape", "scale")
+    batchable = True
 
     def __init__(self, shape: float, scale: float) -> None:
         if not shape > 0.0:
@@ -337,6 +364,7 @@ class LogNormal(Distribution):
     """Log-normal distribution parameterized by the underlying normal's μ, σ."""
 
     __slots__ = ("mu", "sigma")
+    batchable = True
 
     def __init__(self, mu: float, sigma: float) -> None:
         if not sigma > 0.0:
@@ -376,6 +404,7 @@ class Gamma(Distribution):
     """Gamma distribution with ``shape`` k and ``scale`` θ (mean kθ)."""
 
     __slots__ = ("shape", "scale")
+    batchable = True
 
     def __init__(self, shape: float, scale: float) -> None:
         if not (shape > 0.0 and scale > 0.0):
@@ -421,6 +450,7 @@ class Empirical(Distribution):
     """Resampling distribution over observed delays (bootstrap style)."""
 
     __slots__ = ("values",)
+    batchable = True
 
     def __init__(self, values: Sequence[float]) -> None:
         arr = np.asarray(list(values), dtype=float)
@@ -457,6 +487,11 @@ class Shifted(Distribution):
         self.offset = float(offset)
         self.inner = inner
 
+    @property
+    def batchable(self) -> bool:  # type: ignore[override]
+        """Batchable exactly when the inner law is (the shift is free)."""
+        return self.inner.batchable
+
     def sample(self, rng: np.random.Generator) -> float:
         return self.offset + self.inner.sample(rng)
 
@@ -489,6 +524,8 @@ class EquilibriumResidual(Distribution):
     """
 
     __slots__ = ("inner", "_mean_inner", "_quantile_grid", "_grid_lists")
+
+    batchable = True
 
     #: Resolution of the cached inverse-CDF table used by :meth:`sample`.
     _TABLE_SIZE = 4096
@@ -569,16 +606,37 @@ class EquilibriumResidual(Distribution):
         quantiles = np.array([self._invert(p * self._mean_inner) for p in probs])
         return probs, quantiles
 
+    def _grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached quantile grid as ndarrays (built on first use)."""
+        if self._quantile_grid is None:
+            self._quantile_grid = self._build_quantile_grid()
+        return self._quantile_grid
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Vectorized grid-interpolated draws: one ``np.interp`` per batch.
+
+        Consumes the stream exactly like ``size`` successive
+        :meth:`sample` calls (one uniform per draw, identical
+        interpolation arithmetic), so per-draw and batched serving of
+        this law follow the same variates given the same uniforms.
+        Draws beyond the last grid point fall back to exact inversion,
+        as in :meth:`sample`.
+        """
+        probs, quantiles = self._grid()
+        u = rng.uniform(size=size)
+        out = np.interp(u, probs, quantiles)
+        tail = u > probs[-1]
+        if tail.any():
+            for i in np.flatnonzero(tail):
+                out[i] = self._invert(u[i] * self._mean_inner)
+        return out
+
     def sample(self, rng: np.random.Generator) -> float:
         if self._grid_lists is None:
-            if self._quantile_grid is None:
-                self._quantile_grid = self._build_quantile_grid()
-            self._grid_lists = (
-                self._quantile_grid[0].tolist(),
-                self._quantile_grid[1].tolist(),
-            )
-            # the ndarray grid is never read again; keep one copy only
-            self._quantile_grid = None
+            grid = self._grid()
+            # plain-list copy for the scalar path: bisect + float indexing
+            # on lists avoids numpy scalar overhead per draw
+            self._grid_lists = (grid[0].tolist(), grid[1].tolist())
         probs, quantiles = self._grid_lists
         u = rng.uniform()
         if u > probs[-1]:

@@ -27,11 +27,64 @@ import numpy as np
 from .errors import ModelError
 from .places import LocalView
 
-__all__ = ["Predicate", "GateFunction", "InputGate", "OutputGate", "Case", "validate_cases"]
+__all__ = [
+    "Predicate",
+    "GateFunction",
+    "InputGate",
+    "OutputGate",
+    "WriteOp",
+    "Case",
+    "validate_cases",
+]
 
 Predicate = Callable[[LocalView], bool]
 GateFunction = Callable[[LocalView, np.random.Generator], None]
 CaseProbability = float | Callable[[LocalView], float]
+
+#: One declared marking write: ``(place, "add", k)`` for ``m[place] += k``
+#: (``k`` may be negative) or ``(place, "set", v)`` for ``m[place] = v``.
+WriteOp = tuple[str, str, int]
+
+_WRITE_KINDS = ("add", "set")
+
+
+def validate_writes(writes: tuple[WriteOp, ...], owner: str) -> tuple[WriteOp, ...]:
+    """Normalize and validate a declared-writes tuple."""
+    if not writes:
+        raise ModelError(
+            f"{owner}: writes must not be empty (omit it to keep the "
+            "gate function uncompiled)"
+        )
+    out: list[WriteOp] = []
+    for entry in writes:
+        try:
+            place, kind, amount = entry
+        except (TypeError, ValueError):
+            raise ModelError(
+                f"{owner}: writes entries must be (place, 'add'|'set', int) "
+                f"tuples, got {entry!r}"
+            ) from None
+        if not isinstance(place, str) or not place:
+            raise ModelError(
+                f"{owner}: writes place must be a non-empty name, got {place!r}"
+            )
+        if kind not in _WRITE_KINDS:
+            raise ModelError(
+                f"{owner}: writes kind must be 'add' or 'set', got {kind!r}"
+            )
+        if amount != int(amount):
+            raise ModelError(
+                f"{owner}: writes amount must be an integer, got {amount!r}"
+            )
+        amount = int(amount)
+        if kind == "add" and amount == 0:
+            raise ModelError(f"{owner}: 'add' writes amount must be non-zero")
+        if kind == "set" and amount < 0:
+            raise ModelError(
+                f"{owner}: 'set' writes amount must be >= 0, got {amount}"
+            )
+        out.append((place, kind, amount))
+    return tuple(out)
 
 
 def _noop(m: LocalView, rng: np.random.Generator) -> None:
@@ -66,14 +119,38 @@ class InputGate:
 
 @dataclass(frozen=True)
 class OutputGate:
-    """Marking transformation executed when the activity completes."""
+    """Marking transformation executed when the activity completes.
+
+    ``writes`` optionally *declares* the transformation as a fixed
+    sequence of :data:`WriteOp` slot operations — the gate-write
+    analogue of declared activity/reward ``reads``.  The contract: in
+    **every** marking, running ``function`` performs exactly the
+    declared writes (same places, same constant deltas / set values, in
+    any order) and never touches the rng.  The compiled engine then
+    applies the precomputed slot deltas instead of calling the Python
+    function (see ``docs/performance.md`` Layer 5); the declaration is
+    verified against the function on the activity's first completion of
+    each run, and a mismatch raises
+    :class:`~repro.core.errors.SimulationError`.  Conditional effects
+    (writes that depend on the marking), marking-dependent amounts and
+    rng-consuming functions cannot be declared.
+    """
 
     function: GateFunction
     name: str = ""
+    writes: tuple[WriteOp, ...] | None = None
 
     def __post_init__(self) -> None:
         if not callable(self.function):
             raise ModelError("output gate function must be callable")
+        if self.writes is not None:
+            object.__setattr__(
+                self,
+                "writes",
+                validate_writes(
+                    tuple(self.writes), f"output gate {self.name or '<anonymous>'!r}"
+                ),
+            )
 
 
 @dataclass(frozen=True)

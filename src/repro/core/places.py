@@ -21,7 +21,7 @@ from typing import Iterator, Mapping
 
 from .errors import ModelError, SimulationError
 
-__all__ = ["Place", "MarkingVector", "LocalView"]
+__all__ = ["Place", "MarkingVector", "LocalView", "FrozenView"]
 
 
 @dataclass(frozen=True)
@@ -217,3 +217,27 @@ class LocalView:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LocalView({self.as_dict()!r})"
+
+
+class FrozenView(LocalView):
+    """A :class:`LocalView` whose reads never record, tracking or not.
+
+    The compiled engine hands this view to the enabling predicates (and
+    verified distribution callables) of activities with *declared* read
+    sets: their dependencies are wired at compile time, so read tracking
+    is pure overhead — this view drops the tracking branch from every
+    ``__getitem__`` and lets the event loops leave the vector's tracking
+    flag untouched around declared evaluations.  Writes behave exactly
+    like :class:`LocalView` (recorded into ``changed``), so even a
+    misbehaving predicate cannot corrupt the marking silently.
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            return self._values[self._index[name]]
+        except KeyError:
+            raise SimulationError(
+                f"unknown place {name!r}; visible places: {sorted(self._index)}"
+            ) from None

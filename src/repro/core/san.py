@@ -170,6 +170,7 @@ class SAN:
         output_gates: Iterable[OutputGate] = (),
         cases: Iterable[Case] = (),
         reads: Iterable[str] | None = None,
+        writes: Iterable[tuple[str, str, int]] | None = None,
         reactivate: bool = False,
     ) -> ActivityDef:
         """Declare a timed activity.
@@ -177,6 +178,14 @@ class SAN:
         ``enabled`` and ``effect`` are conveniences that wrap a bare
         predicate/function into an input/output gate; they combine with any
         explicitly supplied gates (convenience gates run first).
+
+        ``writes`` optionally declares ``effect``'s marking writes as a
+        fixed op sequence (``("place", "add", k)`` / ``("place", "set",
+        v)``), letting the compiled engine apply them as precomputed
+        slot deltas instead of calling the Python function — see
+        :class:`~repro.core.gates.OutputGate`.  It requires ``effect``
+        (annotate explicit gates by constructing
+        ``OutputGate(fn, writes=[...])`` directly).
 
         ``reads`` optionally declares the dependency set: the local place
         names that the enabling predicates — and, for marking-dependent
@@ -199,8 +208,7 @@ class SAN:
             + list(input_gates)
         )
         ogs = tuple(
-            ([OutputGate(effect, name=f"{name}.effect")] if effect is not None else [])
-            + list(output_gates)
+            self._effect_gates(name, effect, writes) + list(output_gates)
         )
         act = ActivityDef(
             name=name,
@@ -215,6 +223,28 @@ class SAN:
         self._add_activity(act)
         return act
 
+    def _effect_gates(
+        self,
+        name: str,
+        effect: GateFunction | None,
+        writes: Iterable[tuple[str, str, int]] | None,
+    ) -> list[OutputGate]:
+        """Wrap the ``effect`` convenience into its output gate."""
+        if effect is None:
+            if writes is not None:
+                raise ModelError(
+                    f"SAN {self.name!r}: activity {name!r} declares writes "
+                    "without an effect function"
+                )
+            return []
+        return [
+            OutputGate(
+                effect,
+                name=f"{name}.effect",
+                writes=None if writes is None else tuple(writes),
+            )
+        ]
+
     def instant(
         self,
         name: str,
@@ -225,20 +255,21 @@ class SAN:
         output_gates: Iterable[OutputGate] = (),
         cases: Iterable[Case] = (),
         reads: Iterable[str] | None = None,
+        writes: Iterable[tuple[str, str, int]] | None = None,
         priority: int = 0,
     ) -> ActivityDef:
         """Declare an instantaneous (zero-delay) activity.
 
-        ``reads`` declares the enabling predicates' dependency set, with
-        the same contract as :meth:`timed`.
+        ``reads`` declares the enabling predicates' dependency set and
+        ``writes`` the effect's marking writes, with the same contracts
+        as :meth:`timed`.
         """
         igs = tuple(
             ([InputGate(enabled, name=f"{name}.enabled")] if enabled is not None else [])
             + list(input_gates)
         )
         ogs = tuple(
-            ([OutputGate(effect, name=f"{name}.effect")] if effect is not None else [])
-            + list(output_gates)
+            self._effect_gates(name, effect, writes) + list(output_gates)
         )
         act = ActivityDef(
             name=name,

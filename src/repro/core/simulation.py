@@ -40,8 +40,26 @@ Hot-path design (see ``docs/performance.md`` for measurements):
   ``heappushpop`` sift;
 * delay draws are served from vectorized per-distribution blocks
   (see :class:`~repro.core.distributions.BatchedSampler`) by default;
-  pass ``sample_batch=None`` for per-draw sampling, which consumes the
-  RNG stream exactly like the pre-optimization engine.
+  any law advertising ``batchable`` (a single vectorized
+  ``sample_many``, stream-equivalent to per-draw sampling) is eligible,
+  including :class:`~repro.core.distributions.EquilibriumResidual`,
+  whose block is one ``np.interp`` over its cached quantile grid.  Pass
+  ``sample_batch=None`` for per-draw sampling, which consumes the RNG
+  stream exactly like the pre-optimization engine;
+  ``batch_dynamic=True`` extends block serving to the distributions
+  returned by marking-dependent distribution callables (off by default
+  because it changes the default-mode stream consumption);
+* activities whose complete firing effect is *declared*
+  (``OutputGate(..., writes=[...])`` / ``SAN.timed(..., effect=...,
+  writes=[...])`` — no input-gate functions, no cases, every output
+  gate declared) are compiled into **gate-write kernels**: the inlined
+  loops apply the precomputed slot deltas (and mark the dependent
+  activities/observers of each written slot directly) instead of
+  calling the Python gate functions through ``LocalView``.  The
+  declaration is verified against the gate functions on the activity's
+  first completion each run; kernels are bit-identical to the function
+  path in both sampling modes (pinned by the goldens and the
+  ``engine="reference"`` differential, which never uses kernels).
 
 Reward variables (:mod:`repro.core.rewards`) and traces
 (:mod:`repro.core.trace`) are observed with the same dependency machinery,
@@ -83,16 +101,11 @@ from .distributions import (
     BatchedSampler,
     Deterministic,
     Distribution,
-    Erlang,
     Exponential,
-    Gamma,
-    LogNormal,
-    Uniform,
-    Weibull,
 )
 from .errors import InstantaneousLoopError, SimulationError
 from .gates import _noop
-from .places import LocalView
+from .places import FrozenView, LocalView
 from .rewards import ImpulseReward, RateReward, RewardResult
 from .rng import make_generator
 from .san import INSTANT, TIMED
@@ -100,16 +113,29 @@ from .trace import BinaryTrace, EventTrace
 
 __all__ = ["Simulator", "RunResult"]
 
-#: Laws whose ``sample_many`` is a single vectorized generator call; only
-#: these are worth serving from blocks (for the rest, batching would just
-#: run the scalar path eagerly and waste draws).  Exact types only: a
-#: subclass may override ``sample`` and must keep per-draw semantics.
-_BATCHABLE_LAWS = frozenset(
-    {Exponential, Uniform, Weibull, Gamma, Erlang, LogNormal}
-)
-
 #: Default block size for batched delay draws.
 DEFAULT_SAMPLE_BATCH = 256
+
+
+class _RngGuard:
+    """Placeholder rng for gate-write kernel verification.
+
+    A gate function with declared writes must be a pure, deterministic
+    marking transformation; any rng use would make the kernel (which
+    never touches the rng) diverge from the function path, so touching
+    this object raises instead.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        raise SimulationError(
+            "output gate with declared writes must not use the rng "
+            f"(attempted rng.{name})"
+        )
+
+
+_RNG_GUARD = _RngGuard()
 
 
 @dataclass
@@ -164,16 +190,20 @@ class _Compiled:
     __slots__ = (
         "vector",
         "views",
+        "pviews",
         "gview",
         "preds",
         "ig_fns",
         "og_fns",
         "case_tab",
         "plain1",
+        "kernels",
         "samplers",
+        "samp_kind",
         "dyn_dists",
         "is_timed",
         "declared",
+        "memo_slot",
         "reactivate",
         "paths",
         "batched",
@@ -252,12 +282,25 @@ class Simulator:
     sample_batch:
         Block size for vectorized delay draws (default
         :data:`DEFAULT_SAMPLE_BATCH`); one block per distinct distribution
-        object.  ``None`` selects per-draw sampling, which consumes the RNG
+        object, covering every law that advertises
+        :attr:`~repro.core.distributions.Distribution.batchable`.
+        ``None`` selects per-draw sampling, which consumes the RNG
         stream one variate at a time exactly like the pre-optimization
         engine (use it to reproduce historical trajectories).  Both modes
         are fully deterministic for a fixed seed, but they follow
         different (equally valid) trajectories because blocks consume the
         stream ahead of time.
+    batch_dynamic:
+        Also serve the distributions *returned by marking-dependent
+        distribution callables* from vectorized blocks (one block per
+        distinct returned object, cache rebuilt each run so a
+        trajectory stays a pure function of (model, stream)).  Off by
+        default: enabling it changes default-mode stream consumption —
+        historical batched trajectories (e.g. the ``*_batched`` golden
+        entries) assume dynamic draws are per-draw.  No effect when
+        ``sample_batch`` is ``None``.  The paper-workload facades
+        (``ClusterModel``) enable it: the petascale disk fleet draws
+        its equilibrium-residual lifetimes through such a callable.
     engine:
         ``"auto"`` (default) dispatches each run to the most specialized
         event loop the model and observers allow.  ``"reference"`` forces
@@ -272,6 +315,7 @@ class Simulator:
         base_seed: int = 0,
         max_instant_chain: int = 100_000,
         sample_batch: int | None = DEFAULT_SAMPLE_BATCH,
+        batch_dynamic: bool = False,
         engine: str = "auto",
     ) -> None:
         self.model = model
@@ -282,12 +326,19 @@ class Simulator:
             raise SimulationError(
                 f"sample_batch must be >= 1 or None, got {sample_batch}"
             )
+        self.batch_dynamic = bool(batch_dynamic)
         if engine not in ("auto", "reference"):
             raise SimulationError(
                 f"engine must be 'auto' or 'reference', got {engine!r}"
             )
         self.engine = engine
         self._run_counter = 0
+        # Fast-path observability (see fastpath_report): which event loop
+        # the last run dispatched to, and how many completions applied a
+        # compiled gate-write kernel vs. called Python gate functions.
+        self.last_loop: str | None = None
+        self.last_kernel_effects = 0
+        self.last_python_effects = 0
 
         acts = model.activities
         self._n_acts = len(acts)
@@ -315,6 +366,20 @@ class Simulator:
         self._pattern_cache: dict[str, list[int]] = {}
         self._callable_pattern_cache: dict[int, tuple[object, list[int]]] = {}
         self._compiled: _Compiled | None = None
+        # One-shot declaration checks, persistent across runs: a verified
+        # evaluation is bit-identical to an unverified one (verification
+        # only *observes* — the gate functions / distribution callables
+        # run exactly as they otherwise would, and tracking never touches
+        # values or the rng), so warm and fresh simulators follow the
+        # same trajectories whether or not verification already happened.
+        self._kern_verified = [False] * self._n_acts
+        self._dyn_verified = [False] * self._n_acts
+        # Enabling memo for declared single-read activities: the declared
+        # contract makes such a predicate a pure function of one slot's
+        # value, so its results are cached per value and the hot loops
+        # skip the Python call entirely once a value has been seen.
+        # Persistent across runs (pure function ⇒ value-transparent).
+        self._pred_memo: list[dict | None] = [None] * self._n_acts
 
     # ------------------------------------------------------------------
     # helpers
@@ -366,6 +431,11 @@ class Simulator:
             LocalView(c.vector, act.index, self._act_deps[act.ident])
             for act in model.activities
         ]
+        # Predicate views: declared activities evaluate through a
+        # FrozenView (no read tracking, no toggles needed around the
+        # call); the rest share the tracked view.  Filled after the
+        # declaration pass below.
+        c.pviews = list(c.views)
         c.gview = model.global_view(c.vector)
         c.paths = [act.path for act in model.activities]
         c.batched = []
@@ -382,10 +452,26 @@ class Simulator:
         # gate — the dominant shape; lets the hot loop fire it with one
         # load and one call.
         c.plain1 = [None] * n
+        # kernels[aid]: the activity's complete firing effect as a tuple
+        # of precomputed slot ops (slot, is_add, amount, dep_list) when
+        # every output gate declares its writes and there is nothing else
+        # to run (no input-gate functions, no cases).  dep_list is the
+        # slot's inner list of the dependency map (stable identity: it is
+        # only ever mutated in place), so the inlined loops mark
+        # dependents without re-indexing.
+        c.kernels = [None] * n
         c.samplers = [None] * n
+        # samp_kind[aid]: how the delay draw is served ("const",
+        # "batched", "scalar", "dynamic"; None for instants) — compile
+        # metadata for fastpath_report, never read by the event loops.
+        c.samp_kind = [None] * n
         c.dyn_dists = [None] * n
         c.is_timed = [False] * n
         c.declared = [False] * n
+        # memo_slot[aid]: the single declared read slot when the
+        # activity's enabling is a pure function of one place (memoized
+        # per value through self._pred_memo); -1 otherwise.
+        c.memo_slot = [-1] * n
         c.reactivate = [False] * n
 
         act_deps = self._act_deps
@@ -416,6 +502,10 @@ class Simulator:
                         known.add(slot)
                         dep_lists[slot].append(aid)
                 c.declared[aid] = True
+                c.pviews[aid] = FrozenView(c.vector, act.index, known)
+                if len(known) == 1:
+                    c.memo_slot[aid] = next(iter(known))
+                    self._pred_memo[aid] = {}
 
             gates = d.input_gates
             c.preds[aid] = (
@@ -427,6 +517,26 @@ class Simulator:
             c.og_fns[aid] = tuple(og.function for og in d.output_gates)
             if not c.ig_fns[aid] and not d.cases and len(c.og_fns[aid]) == 1:
                 c.plain1[aid] = c.og_fns[aid][0]
+            if (
+                not c.ig_fns[aid]
+                and not d.cases
+                and d.output_gates
+                and all(og.writes is not None for og in d.output_gates)
+            ):
+                ops = []
+                for og in d.output_gates:
+                    for pname, kind, amount in og.writes:
+                        slot = act.index.get(pname)
+                        if slot is None:
+                            raise SimulationError(
+                                f"activity {act.path!r}: declared write "
+                                f"{pname!r} is not a place of its SAN; "
+                                f"visible places: {sorted(act.index)}"
+                            )
+                        ops.append(
+                            (slot, kind == "add", amount, dep_lists[slot])
+                        )
+                c.kernels[aid] = tuple(ops)
 
             if d.cases:
                 if any(callable(case.probability) for case in d.cases):
@@ -452,27 +562,31 @@ class Simulator:
 
             if d.kind == TIMED:
                 dist = d.distribution
-                # Exact-type checks: a Distribution subclass may override
-                # sample(), so only the builtin laws take the fast lanes.
+                # Exact-type fast lanes for const/exponential; block
+                # serving for any law that advertises a vectorized,
+                # stream-equivalent sample_many (Distribution.batchable —
+                # a subclass overriding sample/sample_many owns the flag).
                 if type(dist) is Deterministic:
                     c.samplers[aid] = _make_const_sampler(dist.value)
+                    c.samp_kind[aid] = "const"
                 elif isinstance(dist, Distribution):
-                    if (
-                        self.sample_batch is not None
-                        and type(dist) in _BATCHABLE_LAWS
-                    ):
+                    if self.sample_batch is not None and dist.batchable:
                         sampler = batched_by_dist.get(id(dist))
                         if sampler is None:
                             sampler = BatchedSampler(dist, self.sample_batch)
                             batched_by_dist[id(dist)] = sampler
                             c.batched.append(sampler.reset)
                         c.samplers[aid] = sampler.sample
+                        c.samp_kind[aid] = "batched"
                     elif type(dist) is Exponential:
                         c.samplers[aid] = _make_exponential_sampler(dist)
+                        c.samp_kind[aid] = "scalar"
                     else:
                         c.samplers[aid] = _make_checked_sampler(dist, act.path)
+                        c.samp_kind[aid] = "scalar"
                 else:
                     c.dyn_dists[aid] = dist
+                    c.samp_kind[aid] = "dynamic"
 
         # Pre-evaluate every enabling predicate on the initial marking:
         # the initial marking is identical for every run, so the set of
@@ -515,6 +629,50 @@ class Simulator:
                 c.init_instants.append((aid, bool(en)))
         vec.reset(model.initial)
         return c
+
+    def fastpath_report(self) -> dict:
+        """Compile-time fast-path coverage of this simulator's model.
+
+        Returns a dict mapping out which activities completed by
+        compiled gate-write kernels versus Python gate functions, and
+        how every timed delay draw is served:
+
+        * ``kernel_activities`` / ``python_effect_activities`` — sorted
+          activity paths with / without a compiled write kernel (the
+          ``auto`` engine's fast loops; ``engine="reference"`` always
+          calls the functions);
+        * ``sampling`` — activity path → ``"const"`` | ``"batched"`` |
+          ``"scalar"`` | ``"dynamic"`` for timed activities (dynamic
+          draws are additionally block-served when ``batch_dynamic``);
+        * ``sample_batch`` / ``batch_dynamic`` — the sampling knobs.
+
+        Together with :attr:`last_loop` and the
+        :attr:`last_kernel_effects` / :attr:`last_python_effects`
+        counters this is the CI hook that keeps paper-workload models
+        from silently falling off the inlined fast path
+        (``tests/test_fastpath_coverage.py``).
+        """
+        c = self._compiled
+        if c is None:
+            c = self._compiled = self._compile()
+        kernel: list[str] = []
+        python_effects: list[str] = []
+        sampling: dict[str, str] = {}
+        for act in self.model.activities:
+            aid = act.ident
+            if c.kernels[aid] is not None:
+                kernel.append(act.path)
+            else:
+                python_effects.append(act.path)
+            if c.samp_kind[aid] is not None:
+                sampling[act.path] = c.samp_kind[aid]
+        return {
+            "kernel_activities": sorted(kernel),
+            "python_effect_activities": sorted(python_effects),
+            "sampling": sampling,
+            "sample_batch": self.sample_batch,
+            "batch_dynamic": self.batch_dynamic,
+        }
 
     # ------------------------------------------------------------------
     # main entry point
@@ -577,16 +735,20 @@ class Simulator:
         changed = vector.changed
         reads = vector.reads
         views = c.views
+        pviews = c.pviews
         gview = c.gview
         preds = c.preds
         ig_fns = c.ig_fns
         og_fns = c.og_fns
         case_tab = c.case_tab
         plain1 = c.plain1
+        kernels = c.kernels if self.engine != "reference" else [None] * self._n_acts
         samplers = c.samplers
         dyn_dists = c.dyn_dists
         is_timed = c.is_timed
         declared = c.declared
+        memo_slot = c.memo_slot
+        pred_memo = self._pred_memo
         reactivate = c.reactivate
         act_paths = c.paths
         act_deps = self._act_deps
@@ -609,8 +771,18 @@ class Simulator:
         n_inst_enabled = 0
         stamp = [0] * n_acts  # epoch marks for dirty-list dedup
         # declared activities' distribution callables are verified against
-        # the declaration on their first evaluation each run
-        dyn_checked = [False] * n_acts
+        # the declaration on their first evaluation; gate-write kernels
+        # against their gate functions on their first completion.  Both
+        # flags persist across runs (see __init__): verification is
+        # observation-only, so skipping it on warm simulators cannot
+        # change a trajectory.
+        dyn_checked = self._dyn_verified
+        kern_ok = self._kern_verified
+        # Only kernel completions are counted per event (free for models
+        # without kernels); python-effect completions are derived at run
+        # end as n_events - n_kernel_effects (verification firings run
+        # the Python functions, so they count as python effects).
+        n_kernel_effects = 0
         epoch = 0
         heap: list[tuple[float, int, int, int]] = []  # (time, seq, aid, token)
         seq = 0
@@ -621,6 +793,17 @@ class Simulator:
         u_batch = self.sample_batch
         u_buf: np.ndarray | None = None
         u_pos = 0
+
+        # Per-run sampler cache for marking-dependent distributions,
+        # keyed by the returned object's id (the cached entry holds a
+        # strong reference, so ids cannot be recycled while cached).
+        # Rebuilt every run: a warm simulator must follow the same
+        # trajectory as a fresh one, so no sampling state may carry over.
+        # With batch_dynamic, batchable returned laws are served from
+        # per-object blocks; otherwise the cache just memoizes the
+        # Distribution type check per object.
+        dyn_samplers: dict[int, Callable] = {}
+        use_dyn_batch = u_batch is not None and self.batch_dynamic
 
         # -- reward / trace wiring ------------------------------------
         rate_rewards: list[RateReward] = []
@@ -849,14 +1032,13 @@ class Simulator:
             after a verified first evaluation)."""
             if declared[aid]:
                 if dyn_checked[aid]:
-                    dist = dyn_dists[aid](views[aid])
+                    dist = dyn_dists[aid](pviews[aid])
                 else:
-                    # First activation this run: evaluate tracked through
-                    # the declaration-filtered view, so anything recorded
-                    # is an undeclared read — the dependency map would
-                    # miss its updates (same check as the predicates at
-                    # compile time and declared rate rewards at t=0).
-                    dyn_checked[aid] = True
+                    # First activation on this simulator: evaluate tracked
+                    # through the declaration-filtered view, so anything
+                    # recorded is an undeclared read — the dependency map
+                    # would miss its updates (same check as the predicates
+                    # at compile time and declared rate rewards at t=0).
                     vector.tracking = True
                     reads.clear()
                     try:
@@ -873,6 +1055,8 @@ class Simulator:
                             f"callable reads places outside the declared "
                             f"read set: {names}"
                         )
+                    # only a verified evaluation may skip future checks
+                    dyn_checked[aid] = True
             else:
                 vector.tracking = True
                 reads.clear()
@@ -887,12 +1071,19 @@ class Simulator:
                             known.add(slot)
                             dep_lists[slot].append(aid)
                             dep_journal.append((aid, slot))
-            if not isinstance(dist, Distribution):
-                raise SimulationError(
-                    f"activity {act_paths[aid]!r}: "
-                    "distribution callable did not return a Distribution"
-                )
-            delay = dist.sample(rng)
+            sample = dyn_samplers.get(id(dist))
+            if sample is None:
+                if not isinstance(dist, Distribution):
+                    raise SimulationError(
+                        f"activity {act_paths[aid]!r}: "
+                        "distribution callable did not return a Distribution"
+                    )
+                if use_dyn_batch and dist.batchable:
+                    sample = BatchedSampler(dist, u_batch).sample
+                else:
+                    sample = dist.sample
+                dyn_samplers[id(dist)] = sample
+            delay = sample(rng)
             if not delay >= 0.0:  # also catches NaN
                 raise SimulationError(
                     f"activity {act_paths[aid]!r} sampled invalid "
@@ -937,20 +1128,91 @@ class Simulator:
                         break
                 chosen_case.function(view, rng)
 
+        def _slot_place(slot: int) -> str:
+            for path, s in self.model.paths.items():
+                if s == slot:
+                    return path
+            return f"<slot {slot}>"  # pragma: no cover - defensive
+
+        def verify_kernel(aid: int) -> None:
+            """First completion of a kernel activity: fire through the
+            Python gate functions (bit-identical trajectory) and check
+            the declared ops reproduce exactly the writes they made.
+
+            ``changed`` is empty at completion time (the previous event
+            drained it), so after the functions run it holds precisely
+            this firing's writes.
+            """
+            ops = kernels[aid]
+            pre = [values[slot] for slot, _a, _v, _d in ops]
+            view = views[aid]
+            for og in og_fns[aid]:
+                og(view, _RNG_GUARD)
+            predicted: dict[int, int] = {}
+            for (slot, is_add, amount, _dl), p0 in zip(ops, pre):
+                cur = predicted.get(slot, p0)
+                predicted[slot] = cur + amount if is_add else amount
+            undeclared = [s for s in changed if s not in predicted]
+            wrong = [
+                s for s, v in predicted.items() if values[s] != v or v < 0
+            ]
+            if undeclared or wrong:
+                parts = []
+                if undeclared:
+                    parts.append(
+                        "writes undeclared places "
+                        f"{sorted(_slot_place(s) for s in undeclared)}"
+                    )
+                for s in sorted(wrong):
+                    parts.append(
+                        f"{_slot_place(s)}: declared ops give "
+                        f"{predicted[s]}, function wrote {values[s]}"
+                    )
+                raise SimulationError(
+                    f"activity {act_paths[aid]!r}: declared writes do not "
+                    f"match its gate functions ({'; '.join(parts)})"
+                )
+
+        def _kernel_negative(aid: int, slot: int, value: int) -> None:
+            raise SimulationError(
+                f"activity {act_paths[aid]!r}: declared write drives place "
+                f"{_slot_place(slot)!r} to negative value {value}"
+            )
+
         # NOTE: the body of fire() is duplicated inline in the fast event
-        # loop below; keep the two sites in sync.
+        # loops below; keep the sites in sync.  Kernel activities apply
+        # their precomputed slot ops (verified on first completion); the
+        # reference engine sees an all-None kernel table and always calls
+        # the Python gate functions.
         def fire(aid: int) -> None:
             """Run gate functions and cases; writes land in ``changed``."""
-            nonlocal n_events
+            nonlocal n_events, n_kernel_effects
             n_events += 1
-            view = views[aid]
-            for fn in ig_fns[aid]:
-                fn(view, rng)
-            ct = case_tab[aid]
-            if ct is not None:
-                fire_cases(aid, view, ct)
-            for og in og_fns[aid]:
-                og(view, rng)
+            ops = kernels[aid]
+            if ops is None:
+                view = views[aid]
+                for fn in ig_fns[aid]:
+                    fn(view, rng)
+                ct = case_tab[aid]
+                if ct is not None:
+                    fire_cases(aid, view, ct)
+                for og in og_fns[aid]:
+                    og(view, rng)
+            elif kern_ok[aid]:
+                n_kernel_effects += 1
+                for slot, is_add, amount, _dl in ops:
+                    if is_add:
+                        v = values[slot] + amount
+                        if v < 0:
+                            _kernel_negative(aid, slot, v)
+                        values[slot] = v
+                        changed.add(slot)
+                    elif values[slot] != amount:
+                        values[slot] = amount
+                        changed.add(slot)
+            else:
+                verify_kernel(aid)
+                kern_ok[aid] = True
 
             if has_observers:
                 if now >= warmup:
@@ -999,7 +1261,15 @@ class Simulator:
                 dirty.sort()
                 for aid in dirty:
                     if declared[aid]:
-                        en = preds[aid](views[aid])
+                        ms = memo_slot[aid]
+                        if ms < 0:
+                            en = preds[aid](pviews[aid])
+                        else:
+                            mdict = pred_memo[aid]
+                            en = mdict.get(values[ms])
+                            if en is None:
+                                en = preds[aid](pviews[aid])
+                                mdict[values[ms]] = en
                     else:
                         vector.tracking = True
                         if reads:
@@ -1134,6 +1404,9 @@ class Simulator:
                             rate_integrals[i] += val * (b - a)
                 last_t = t
 
+        # The observed loop inlines the common-case integration body.
+        inline_rates = has_rates and not has_rate_windows
+
         # -- event loop --------------------------------------------------
         # A completed event's token always mismatches (completion and
         # deactivation both bump it), so the token check alone detects
@@ -1142,6 +1415,11 @@ class Simulator:
         has_stop = stop_predicate is not None
         has_probes = n_probes > 0
         observed = has_instants or has_watch or has_stop or has_probes
+        self.last_loop = (
+            "reference"
+            if self.engine == "reference"
+            else ("observed" if observed else "plain")
+        )
         if self.engine == "reference":
             # General un-specialized loop: every feature, no inlining.
             # This is the oracle the two specialized loops below are
@@ -1235,26 +1513,101 @@ class Simulator:
                         pt, pi = probe_list[probe_pos]
                         rate_results[pi].instants.append((pt, rate_values[pi]))
                         probe_pos += 1
-                if has_rates:
+                if inline_rates:
+                    # integrate_to's common (unwindowed) body, inlined:
+                    # same clipping, same accumulation order, one Python
+                    # call fewer per event.
+                    a = last_t if last_t > warmup else warmup
+                    b = ftime if ftime < until else until
+                    if b > a:
+                        span = b - a
+                        for i in range(n_rates):
+                            val = rate_values[i]
+                            if val != 0.0:
+                                rate_integrals[i] += val * span
+                    last_t = ftime
+                elif has_rates:
                     integrate_to(ftime)
                 now = ftime
                 token[aid] += 1
 
                 n_events += 1
-                view = views[aid]
-                fn1 = plain1[aid]
-                if fn1 is not None:
-                    fn1(view, rng)
+                epoch += 1
+                stamp[aid] = epoch
+                dirty.append(aid)
+                ops = kernels[aid]
+                if ops is not None and kern_ok[aid]:
+                    # Compiled gate-write kernel: apply the precomputed
+                    # slot ops and mark each written slot's observers and
+                    # dependents directly — no gate-function call, no
+                    # LocalView, no changed-set round-trip.  A set op
+                    # that leaves the value unchanged marks nothing,
+                    # exactly like LocalView.__setitem__.
+                    n_kernel_effects += 1
+                    for slot, is_add, amount, dl in ops:
+                        if is_add:
+                            v = values[slot] + amount
+                            if v < 0:
+                                _kernel_negative(aid, slot, v)
+                            values[slot] = v
+                        elif values[slot] != amount:
+                            values[slot] = amount
+                        else:
+                            continue
+                        rlist = rate_obs[slot]
+                        if rlist is not None:
+                            for i in rlist:
+                                if rstamp[i] != obs_epoch:
+                                    rstamp[i] = obs_epoch
+                                    touched_r.append(i)
+                        tlist = btrace_obs[slot]
+                        if tlist is not None:
+                            for i in tlist:
+                                if tstamp[i] != obs_epoch:
+                                    tstamp[i] = obs_epoch
+                                    touched_t.append(i)
+                        if dl:
+                            for d in dl:
+                                if stamp[d] != epoch:
+                                    stamp[d] = epoch
+                                    dirty.append(d)
                 else:
-                    igs = ig_fns[aid]
-                    if igs:
-                        for fn in igs:
-                            fn(view, rng)
-                    ct = case_tab[aid]
-                    if ct is not None:
-                        fire_cases(aid, view, ct)
-                    for og in og_fns[aid]:
-                        og(view, rng)
+                    if ops is None:
+                        view = views[aid]
+                        fn1 = plain1[aid]
+                        if fn1 is not None:
+                            fn1(view, rng)
+                        else:
+                            igs = ig_fns[aid]
+                            if igs:
+                                for fn in igs:
+                                    fn(view, rng)
+                            ct = case_tab[aid]
+                            if ct is not None:
+                                fire_cases(aid, view, ct)
+                            for og in og_fns[aid]:
+                                og(view, rng)
+                    else:
+                        verify_kernel(aid)
+                        kern_ok[aid] = True
+                    while changed:
+                        slot = changed_pop()
+                        rlist = rate_obs[slot]
+                        if rlist is not None:
+                            for i in rlist:
+                                if rstamp[i] != obs_epoch:
+                                    rstamp[i] = obs_epoch
+                                    touched_r.append(i)
+                        tlist = btrace_obs[slot]
+                        if tlist is not None:
+                            for i in tlist:
+                                if tstamp[i] != obs_epoch:
+                                    tstamp[i] = obs_epoch
+                                    touched_t.append(i)
+                        for d in dep_lists[slot]:
+                            if stamp[d] != epoch:
+                                stamp[d] = epoch
+                                dirty.append(d)
                 if has_observers:
                     if now >= warmup:
                         obs = impulse_by_act[aid]
@@ -1270,35 +1623,19 @@ class Simulator:
                         path = act_paths[aid]
                         for tr in etr:
                             tr.record(now, path, gview)
-
-                epoch += 1
-                stamp[aid] = epoch
-                dirty.append(aid)
-                while changed:
-                    slot = changed_pop()
-                    rlist = rate_obs[slot]
-                    if rlist is not None:
-                        for i in rlist:
-                            if rstamp[i] != obs_epoch:
-                                rstamp[i] = obs_epoch
-                                touched_r.append(i)
-                    tlist = btrace_obs[slot]
-                    if tlist is not None:
-                        for i in tlist:
-                            if tstamp[i] != obs_epoch:
-                                tstamp[i] = obs_epoch
-                                touched_t.append(i)
-                    for d in dep_lists[slot]:
-                        if stamp[d] != epoch:
-                            stamp[d] = epoch
-                            dirty.append(d)
                 dirty.sort()
                 vector.tracking = True
                 for aid2 in dirty:
                     if declared[aid2]:
-                        vector.tracking = False
-                        en = preds[aid2](views[aid2])
-                        vector.tracking = True
+                        ms = memo_slot[aid2]
+                        if ms < 0:
+                            en = preds[aid2](pviews[aid2])
+                        else:
+                            mdict = pred_memo[aid2]
+                            en = mdict.get(values[ms])
+                            if en is None:
+                                en = preds[aid2](pviews[aid2])
+                                mdict[values[ms]] = en
                     else:
                         if reads:
                             reads_clear()
@@ -1350,8 +1687,14 @@ class Simulator:
                     settle(dirty)
 
                 if touched_r:
+                    # Declared rewards refresh with a direct call (no
+                    # tracked-discovery wrapper); value-identical to
+                    # eval_rate, which takes the same branch.
                     for i in touched_r:
-                        rate_values[i] = eval_rate(i)
+                        if rate_declared[i]:
+                            rate_values[i] = float(rate_fns[i](rate_views[i]))
+                        else:
+                            rate_values[i] = eval_rate(i)
                     del touched_r[:]
                 if touched_t:
                     for i in touched_t:
@@ -1397,20 +1740,53 @@ class Simulator:
                 token[aid] += 1
 
                 n_events += 1
-                view = views[aid]
-                fn1 = plain1[aid]
-                if fn1 is not None:
-                    fn1(view, rng)
+                epoch += 1
+                stamp[aid] = epoch
+                dirty.append(aid)
+                ops = kernels[aid]
+                if ops is not None and kern_ok[aid]:
+                    # Compiled gate-write kernel (see the observed loop):
+                    # precomputed slot ops, dependents marked in place.
+                    n_kernel_effects += 1
+                    for slot, is_add, amount, dl in ops:
+                        if is_add:
+                            v = values[slot] + amount
+                            if v < 0:
+                                _kernel_negative(aid, slot, v)
+                            values[slot] = v
+                        elif values[slot] != amount:
+                            values[slot] = amount
+                        else:
+                            continue
+                        if dl:
+                            for d in dl:
+                                if stamp[d] != epoch:
+                                    stamp[d] = epoch
+                                    dirty.append(d)
                 else:
-                    igs = ig_fns[aid]
-                    if igs:
-                        for fn in igs:
-                            fn(view, rng)
-                    ct = case_tab[aid]
-                    if ct is not None:
-                        fire_cases(aid, view, ct)
-                    for og in og_fns[aid]:
-                        og(view, rng)
+                    if ops is None:
+                        view = views[aid]
+                        fn1 = plain1[aid]
+                        if fn1 is not None:
+                            fn1(view, rng)
+                        else:
+                            igs = ig_fns[aid]
+                            if igs:
+                                for fn in igs:
+                                    fn(view, rng)
+                            ct = case_tab[aid]
+                            if ct is not None:
+                                fire_cases(aid, view, ct)
+                            for og in og_fns[aid]:
+                                og(view, rng)
+                    else:
+                        verify_kernel(aid)
+                        kern_ok[aid] = True
+                    while changed:
+                        for d in dep_lists[changed_pop()]:
+                            if stamp[d] != epoch:
+                                stamp[d] = epoch
+                                dirty.append(d)
                 if has_observers:
                     if now >= warmup:
                         obs = impulse_by_act[aid]
@@ -1426,22 +1802,19 @@ class Simulator:
                         path = act_paths[aid]
                         for tr in etr:
                             tr.record(now, path, gview)
-
-                epoch += 1
-                stamp[aid] = epoch
-                dirty.append(aid)
-                while changed:
-                    for d in dep_lists[changed_pop()]:
-                        if stamp[d] != epoch:
-                            stamp[d] = epoch
-                            dirty.append(d)
                 dirty.sort()
                 vector.tracking = True
                 for aid2 in dirty:
                     if declared[aid2]:
-                        vector.tracking = False
-                        en = preds[aid2](views[aid2])
-                        vector.tracking = True
+                        ms = memo_slot[aid2]
+                        if ms < 0:
+                            en = preds[aid2](pviews[aid2])
+                        else:
+                            mdict = pred_memo[aid2]
+                            en = mdict.get(values[ms])
+                            if en is None:
+                                en = preds[aid2](pviews[aid2])
+                                mdict[values[ms]] = en
                     else:
                         if reads:
                             reads_clear()
@@ -1480,6 +1853,8 @@ class Simulator:
                 vector.tracking = False
                 dirty_clear()
 
+        self.last_kernel_effects = n_kernel_effects
+        self.last_python_effects = n_events - n_kernel_effects
         end_time = now if stopped_early else until
         integrate_to(end_time)
         for i in range(n_rates):

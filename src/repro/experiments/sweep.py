@@ -21,9 +21,13 @@ contract mirrors :mod:`repro.core.parallel`:
   order* cells execute, and ``run_sweep(cells, n_jobs=k)`` returns
   results **bit-identical to serial execution for any k** (asserted
   float-for-float by ``tests/test_sweep.py``);
-* cells run their replications serially (``n_jobs=1`` inside the cell):
-  with more cells than workers, cell-level scheduling already saturates
-  the pool without nesting process pools.
+* with more cells than workers, cells run their replications serially
+  (``n_jobs=1`` inside the cell): cell-level scheduling already
+  saturates the pool.  With more workers than cells (cores >> grid),
+  :func:`run_sweep` splits the surplus *into* the cells — two-level
+  (cells × replications) parallelism from the same grid, still
+  bit-identical to serial because replication ``k`` always draws from
+  stream ``k`` (see the ``nested`` parameter).
 
 :func:`replication_cell` builds the most common cell shape — one
 :class:`~repro.core.parallel.ReplicationSpec` study summarized as an
@@ -37,7 +41,7 @@ single pool of ~60 cells.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 from ..core.errors import SimulationError
@@ -68,16 +72,39 @@ class SweepCell:
         its arguments — all randomness seeded through ``args``/``kwargs``.
     args / kwargs:
         Picklable call arguments.
+    inner_jobs_arg:
+        Name of the keyword argument through which the cell accepts
+        *within-cell* parallelism (e.g. ``"n_jobs"`` for replication
+        cells), or ``None`` when the cell is indivisible.  The cell's
+        result must not depend on that argument's value — only its
+        wall-clock does — which is what lets :func:`run_sweep` split
+        surplus workers into the cells (nested parallelism) without
+        perturbing results.
     """
 
     key: object
     fn: Callable
     args: tuple = ()
     kwargs: Mapping = field(default_factory=dict)
+    inner_jobs_arg: str | None = None
 
     def execute(self) -> object:
         """Run the cell in the current process."""
         return self.fn(*self.args, **dict(self.kwargs))
+
+    def with_inner_jobs(self, n_jobs: int) -> "SweepCell":
+        """A copy of this cell using ``n_jobs`` within-cell workers.
+
+        Returns ``self`` unchanged when the cell is indivisible or its
+        inner parallelism was set explicitly (anything but the serial
+        default) by the grid builder.
+        """
+        if self.inner_jobs_arg is None:
+            return self
+        if self.kwargs.get(self.inner_jobs_arg, 1) != 1:
+            return self
+        kwargs = {**dict(self.kwargs), self.inner_jobs_arg: int(n_jobs)}
+        return replace(self, kwargs=kwargs)
 
 
 class SweepResult(dict):
@@ -156,8 +183,9 @@ def replication_cell(
             int(n_replications),
             float(warmup),
             float(confidence),
-            int(n_jobs),
         ),
+        {"n_jobs": int(n_jobs)},
+        inner_jobs_arg="n_jobs",
     )
 
 
@@ -170,6 +198,7 @@ def run_sweep(
     cells: Sequence[SweepCell],
     *,
     n_jobs: int | None = 1,
+    nested: bool = True,
 ) -> SweepResult:
     """Execute a grid of independent cells, serially or across processes.
 
@@ -185,6 +214,18 @@ def run_sweep(
         value; only wall-clock changes.  Cells are dispatched one at a
         time (``chunksize=1``) so a grid mixing cheap ABE points with
         expensive petascale points load-balances dynamically.
+    nested:
+        Nested parallelism policy for hosts with more workers than
+        cells: when ``n_jobs`` exceeds the grid size, the surplus is
+        split *into* the cells — each divisible cell (one that names an
+        ``inner_jobs_arg``, e.g. every :func:`replication_cell`) runs
+        its replications across ``n_jobs // len(cells)`` workers of its
+        own, from the same grid, while cell-level scheduling uses one
+        worker per cell.  Replication ``k`` draws from stream ``k``
+        whatever the split, so results stay **bit-identical to serial
+        execution for any (outer, inner) division**
+        (``tests/test_sweep.py``).  Pass ``nested=False`` to keep the
+        historical cap of one worker per cell.
     """
     cells = list(cells)
     keys = [c.key for c in cells]
@@ -193,7 +234,13 @@ def run_sweep(
         raise SimulationError(f"duplicate sweep cell keys: {dupes}")
 
     jobs = resolve_n_jobs(n_jobs)
+    if nested and cells and jobs > len(cells):
+        inner = jobs // len(cells)
+        if inner > 1:
+            cells = [c.with_inner_jobs(inner) for c in cells]
     if jobs <= 1 or len(cells) <= 1:
+        # Serial grid order; a lone divisible cell still uses its inner
+        # workers (the only parallelism available to a 1-cell grid).
         return SweepResult((c.key, c.execute()) for c in cells)
 
     jobs = min(jobs, len(cells))

@@ -77,6 +77,7 @@ def build_failover_member_san(
         "absorb_kill",
         enabled=lambda m: m["kill"] == 1 and m["up"] == 1,
         effect=killed,
+        writes=[("up", "set", 0), ("down_count", "add", 1), ("kill", "set", 0)],
         priority=10,
     )
 
@@ -89,6 +90,7 @@ def build_failover_member_san(
         repair,
         enabled=lambda m: m["up"] == 0,
         effect=repaired,
+        writes=[("up", "set", 1), ("down_count", "add", -1)],
     )
     return san
 
@@ -120,12 +122,18 @@ def build_pair_control_san(name: str = "pairctl") -> SAN:
         "pair_fail",
         enabled=lambda m: m["down_count"] >= 2 and m["pair_down"] == 0,
         effect=pair_fails,
+        writes=[
+            ("pair_down", "set", 1),
+            ("pairs_down", "add", 1),
+            ("pair_outages_total", "add", 1),
+        ],
         priority=5,
     )
     san.instant(
         "pair_restore",
         enabled=lambda m: m["down_count"] < 2 and m["pair_down"] == 1,
         effect=pair_restores,
+        writes=[("pair_down", "set", 0), ("pairs_down", "add", -1)],
         priority=5,
     )
     # A propagated fault that finds the partner already down is a no-op;
@@ -134,6 +142,7 @@ def build_pair_control_san(name: str = "pairctl") -> SAN:
         "clear_kill",
         enabled=lambda m: m["kill"] == 1 and m["down_count"] >= 2,
         effect=lambda m, rng: m.__setitem__("kill", 0),
+        writes=[("kill", "set", 0)],
         priority=1,
     )
     return san

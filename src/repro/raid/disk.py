@@ -85,6 +85,11 @@ def build_disk_san(
         m["disk_kill"] += 1
 
     p = float(propagation_p)
+    # The declared read set covers both the enabling predicate ("up") and
+    # the marking-dependent distribution callable ("fresh"), so the
+    # compiled engine evaluates the fleet's hottest delay draws — one
+    # equilibrium-residual or Weibull lifetime per disk — with read
+    # tracking skipped entirely.
     san.timed(
         "fail",
         fail_distribution,
@@ -93,6 +98,7 @@ def build_disk_san(
             Case(1.0 - p, fail_isolated, name="isolated"),
             Case(p, fail_propagating, name="propagating"),
         ],
+        reads=["up", "fresh"],
     )
 
     def absorb_stop(m: LocalView, rng) -> None:
@@ -127,5 +133,11 @@ def build_disk_san(
         Deterministic(replacement_hours),
         enabled=lambda m: m["up"] == 0,
         effect=on_replace,
+        writes=[
+            ("up", "set", 1),
+            ("fresh", "set", 1),
+            ("failed_count", "add", -1),
+            ("disks_replaced", "add", 1),
+        ],
     )
     return san

@@ -51,6 +51,11 @@ def build_tier_control_san(config: RAIDConfig, name: str = "tierctl") -> SAN:
         "data_loss",
         enabled=lambda m: m["failed_count"] >= threshold and m["tier_down"] == 0,
         effect=on_data_loss,
+        writes=[
+            ("tier_down", "set", 1),
+            ("tiers_down", "add", 1),
+            ("data_loss_total", "add", 1),
+        ],
         priority=5,
     )
     san.timed(
@@ -65,6 +70,7 @@ def build_tier_control_san(config: RAIDConfig, name: str = "tierctl") -> SAN:
         "void_kill",
         enabled=lambda m: m["disk_kill"] > 0 and m["failed_count"] >= config.tier_size,
         effect=lambda m, rng: m.__setitem__("disk_kill", 0),
+        writes=[("disk_kill", "set", 0)],
         priority=1,
     )
     return san

@@ -1,0 +1,266 @@
+"""Vectorized batch sampling: stream equivalence and equilibrium accuracy.
+
+Two contracts pin the PR 4 sampling layer:
+
+* **stream equivalence** — for every law advertising
+  ``Distribution.batchable``, ``sample_many(rng, n)`` returns exactly the
+  variates that ``n`` successive ``sample(rng)`` calls would (same stream
+  consumption, same arithmetic, bit-for-bit).  This is what makes block
+  serving a pure wall-clock optimization: a :class:`BatchedSampler`
+  changes *when* draws are taken from the stream, never *what* a given
+  stretch of stream produces;
+* **grid accuracy** — :class:`EquilibriumResidual`'s grid-interpolated
+  inverse CDF (``sample`` / ``sample_many``) tracks the exact
+  root-finding inversion (``sample_exact``) to high relative accuracy,
+  including in the far tails.
+
+Plus the engine-level determinism contracts of the ``batch_dynamic``
+knob: same seed ⇒ same trajectory, warm == fresh, fast == reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Simulator, flatten
+from repro.core.distributions import (
+    BatchedSampler,
+    Deterministic,
+    Empirical,
+    EquilibriumResidual,
+    Erlang,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Shifted,
+    Uniform,
+    Weibull,
+)
+
+from _helpers import build_fleet_node
+
+BATCHABLE_LAWS = [
+    Exponential(0.31),
+    Uniform(0.5, 7.5),
+    Weibull(0.7, 3000.0),
+    Weibull(1.8, 40.0),
+    Gamma(2.3, 4.0),
+    Erlang(3, 0.5),
+    LogNormal(1.1, 0.45),
+    Empirical([1.0, 2.0, 5.5, 9.0]),
+    Shifted(2.0, Exponential(1.0)),
+    EquilibriumResidual(Weibull(0.7, 300_000.0)),
+    EquilibriumResidual(Exponential(1 / 500.0)),
+    EquilibriumResidual(Deterministic(12.0)),
+]
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize(
+        "dist", BATCHABLE_LAWS, ids=lambda d: repr(d)[:40]
+    )
+    def test_sample_many_equals_per_draw(self, dist):
+        assert dist.batchable
+        r1 = np.random.default_rng(1234)
+        r2 = np.random.default_rng(1234)
+        batch = dist.sample_many(r1, 500)
+        scalar = np.array([dist.sample(r2) for _ in range(500)])
+        np.testing.assert_array_equal(batch, scalar)
+        # both consumed the same stretch of stream
+        assert r1.standard_normal() == r2.standard_normal()
+
+    @given(seed=st.integers(0, 2**32 - 1), size=st.integers(1, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_equilibrium_batch_bitwise(self, seed, size):
+        dist = _EQ_WEIBULL
+        r1 = np.random.default_rng(seed)
+        r2 = np.random.default_rng(seed)
+        batch = dist.sample_many(r1, size)
+        scalar = np.array([dist.sample(r2) for _ in range(size)])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_batched_sampler_serves_blockwise(self):
+        dist = Exponential(1.0)
+        sampler = BatchedSampler(dist, batch_size=8)
+        r1 = np.random.default_rng(7)
+        r2 = np.random.default_rng(7)
+        served = [sampler.sample(r1) for _ in range(8)]
+        direct = list(dist.sample_many(r2, 8))
+        assert served == direct
+
+    def test_non_batchable_laws_flagged(self):
+        assert not Deterministic(3.0).batchable
+        assert not Shifted(1.0, Deterministic(3.0)).batchable
+
+    def test_subclass_overriding_sample_loses_batchable(self):
+        """A subclass that changes per-draw semantics without vouching
+        for stream equivalence must not inherit block serving."""
+
+        class Capped(Exponential):
+            def sample(self, rng):
+                return min(0.5, super().sample(rng))
+
+        assert Capped(1.0).batchable is False
+
+        class Vouched(Exponential):
+            batchable = True
+
+            def sample(self, rng):
+                return super().sample(rng)
+
+            def sample_many(self, rng, size):
+                return super().sample_many(rng, size)
+
+        assert Vouched(1.0).batchable is True
+
+        class Untouched(Exponential):
+            pass
+
+        assert Untouched(1.0).batchable is True
+
+
+# Module-level so the grid (built once per process) is shared by tests.
+_EQ_WEIBULL = EquilibriumResidual(Weibull(0.71, 300_000.0))
+
+
+class TestEquilibriumGridAccuracy:
+    @staticmethod
+    def _assert_accurate(dist, approx, exact):
+        """The grid's accuracy class: 2e-4 relative, or — in the deep
+        low tail, where quantiles are minuscule and the geometric tail
+        grid is coarse in *relative* terms — absolutely below 1e-7 of
+        the distribution mean (far under what hour-scale availability
+        measures resolve)."""
+        assert abs(approx - exact) <= max(2e-4 * exact, 1e-7 * dist.mean())
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_grid_sample_tracks_exact_inversion(self, seed):
+        """Same uniform in, grid and exact inversion agree closely."""
+        dist = _EQ_WEIBULL
+        approx = dist.sample(np.random.default_rng(seed))
+        exact = dist.sample_exact(np.random.default_rng(seed))
+        self._assert_accurate(dist, approx, exact)
+
+    @given(
+        shape=st.floats(0.5, 2.5),
+        mtbf=st.floats(1e3, 1e6),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_grid_accuracy_across_weibull_parameterizations(
+        self, shape, mtbf, seed
+    ):
+        dist = EquilibriumResidual(Weibull.from_mtbf(shape, mtbf))
+        approx = dist.sample(np.random.default_rng(seed))
+        exact = dist.sample_exact(np.random.default_rng(seed))
+        self._assert_accurate(dist, approx, exact)
+
+    @pytest.mark.parametrize(
+        "u", [1e-8, 1e-6, 1e-4, 0.5, 0.999, 0.99999, 1.0 - 1e-7]
+    )
+    def test_tail_quantiles_roundtrip(self, u):
+        """F_e(quantile(u)) == u through both tails.
+
+        ``sample`` consumes exactly one uniform, so a stub generator
+        drives it through chosen quantiles — including beyond the last
+        grid point, where it falls back to exact inversion.
+        """
+        dist = _EQ_WEIBULL
+
+        class _U:
+            def uniform(self, *a, **k):
+                return u
+
+        q = dist.sample(_U())
+        assert q >= 0.0
+        assert dist.cdf(q) == pytest.approx(u, rel=1e-5, abs=1e-9)
+
+    def test_exponential_equilibrium_is_exponential(self):
+        """The equilibrium residual of a memoryless law is itself."""
+        inner = Exponential(1 / 500.0)
+        dist = EquilibriumResidual(inner)
+        r1 = np.random.default_rng(3)
+        draws = dist.sample_many(r1, 4000)
+        assert float(np.mean(draws)) == pytest.approx(500.0, rel=0.1)
+
+
+class TestBatchDynamicEngine:
+    """Engine determinism contracts of the ``batch_dynamic`` knob."""
+
+    def _dyn_model(self):
+        """Fleet whose delays come through a marking-dependent callable."""
+        from repro.core import SAN, replicate
+
+        fresh = Weibull(0.8, 120.0)
+        eq = EquilibriumResidual(fresh)
+        san = SAN("unit")
+        san.place("up", 1)
+        san.place("seasoned", 0)
+
+        def fail_law(m):
+            return eq if m["seasoned"] == 0 else fresh
+
+        def fail(m, rng):
+            m["up"] = 0
+            m["seasoned"] = 1
+
+        san.timed("fail", fail_law, enabled=lambda m: m["up"] == 1, effect=fail)
+        san.timed(
+            "repair",
+            Exponential(0.2),
+            enabled=lambda m: m["up"] == 0,
+            effect=lambda m, rng: m.__setitem__("up", 1),
+        )
+        return flatten(replicate("fleet", san, 30))
+
+    def test_same_seed_same_trajectory(self):
+        model = self._dyn_model()
+        a = Simulator(model, base_seed=5, batch_dynamic=True).run(2000.0)
+        b = Simulator(model, base_seed=5, batch_dynamic=True).run(2000.0)
+        assert a.n_events == b.n_events
+        assert a._final_values == b._final_values
+
+    def test_warm_simulator_matches_fresh(self):
+        """Run k on a warm simulator == run k on a fresh one: the dynamic
+        sampler cache is rebuilt per run, so no sampling state leaks."""
+        model = self._dyn_model()
+        warm = Simulator(model, base_seed=8, batch_dynamic=True)
+        runs = [warm.run(1500.0) for _ in range(3)]
+        fresh = Simulator(model, base_seed=8, batch_dynamic=True)
+        fresh._run_counter = 2
+        again = fresh.run(1500.0)
+        assert again.n_events == runs[2].n_events
+        assert again._final_values == runs[2]._final_values
+
+    def test_fast_equals_reference(self):
+        model = self._dyn_model()
+        fast = Simulator(model, base_seed=11, batch_dynamic=True).run(2000.0)
+        ref = Simulator(
+            model, base_seed=11, batch_dynamic=True, engine="reference"
+        ).run(2000.0)
+        assert fast.n_events == ref.n_events
+        assert fast._final_values == ref._final_values
+
+    def test_off_by_default_and_per_draw_mode_unaffected(self):
+        model = self._dyn_model()
+        assert Simulator(model).batch_dynamic is False
+        # per-draw mode ignores batch_dynamic entirely
+        a = Simulator(model, base_seed=4, sample_batch=None).run(1000.0)
+        b = Simulator(
+            model, base_seed=4, sample_batch=None, batch_dynamic=True
+        ).run(1000.0)
+        assert a.n_events == b.n_events
+        assert a._final_values == b._final_values
+
+    def test_static_batching_unchanged_by_knob(self):
+        """batch_dynamic only affects dynamic draws: a static-law model
+        follows the identical default-mode trajectory either way."""
+        fleet = flatten(build_fleet_node(40))
+        a = Simulator(fleet, base_seed=9).run(1000.0)
+        b = Simulator(fleet, base_seed=9, batch_dynamic=True).run(1000.0)
+        assert a.n_events == b.n_events
+        assert a._final_values == b._final_values

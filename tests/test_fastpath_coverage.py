@@ -1,0 +1,85 @@
+"""Fast-path coverage: the paper workloads must stay on the compiled path.
+
+A model can silently fall off the inlined fast loops — an un-annotated
+gate drops its activity back to Python gate functions, a distribution
+change drops its draws back to per-draw sampling, an accidental observer
+pushes a run onto the reference loop.  None of that is a correctness
+bug, so without these assertions it would regress performance quietly.
+This suite pins, for the ABE and petascale cluster models:
+
+* which event loop a measured run dispatches to (``Simulator.last_loop``),
+* the exact residue of activities *without* gate-write kernels
+  (``fastpath_report``) — grows only if an annotation is dropped,
+* the runtime kernel-vs-python completion counters,
+* the sampling mode of every timed activity.
+
+CI runs this file on every push (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfs import ClusterModel, abe_parameters, petascale_parameters
+
+#: Template-level activity names that legitimately keep Python gate
+#: functions: case-bearing completions (propagation coins) and the
+#: conditional tier-restore effect.  Anything beyond this set failing to
+#: compile a kernel is an unannotated gate.
+EXPECTED_PYTHON_RESIDUE = {
+    "fail",       # disk / fail-over member: probabilistic cases
+    "absorb_kill",  # propagated-fault absorption: probabilistic cases
+    "restore",    # tier restore: effect conditional on failed_count
+}
+
+
+def _residue_names(report) -> set[str]:
+    return {path.rsplit("/", 1)[-1] for path in report["python_effect_activities"]}
+
+
+@pytest.fixture(scope="module", params=["abe", "petascale"])
+def cluster(request):
+    params = (
+        abe_parameters() if request.param == "abe" else petascale_parameters()
+    )
+    return ClusterModel(params, base_seed=2008)
+
+
+class TestCompiledCoverage:
+    def test_python_effect_residue_is_exactly_the_known_set(self, cluster):
+        report = cluster.simulator.fastpath_report()
+        residue = _residue_names(report)
+        assert residue == EXPECTED_PYTHON_RESIDUE, (
+            "activities fell off the gate-write kernel path: "
+            f"{sorted(residue - EXPECTED_PYTHON_RESIDUE)}"
+        )
+        # every repair/bookkeeping completion in the model has a kernel
+        # (the runtime majority check lives in
+        # test_measured_run_uses_observed_fast_loop: events, not
+        # activity counts, decide what is hot)
+        assert len(report["kernel_activities"]) > 0
+
+    def test_every_timed_draw_is_served_fast(self, cluster):
+        """No static law may fall back to scalar per-draw sampling."""
+        report = cluster.simulator.fastpath_report()
+        assert report["sample_batch"] is not None
+        assert report["batch_dynamic"] is True
+        slow = [
+            path
+            for path, kind in report["sampling"].items()
+            if kind == "scalar"
+        ]
+        assert slow == [], f"per-draw sampling crept back in: {slow}"
+        kinds = set(report["sampling"].values())
+        assert kinds == {"const", "batched", "dynamic"}
+
+    def test_measured_run_uses_observed_fast_loop(self, cluster):
+        sim = cluster.simulator
+        res = sim.run(700.0, rewards=cluster.measures.rewards)
+        assert sim.last_loop == "observed"
+        assert sim.last_kernel_effects + sim.last_python_effects == res.n_events
+        # kernels carry the bulk of completions on the paper workloads
+        assert sim.last_kernel_effects > sim.last_python_effects
+
+    def test_reference_engine_is_opt_in_only(self, cluster):
+        assert cluster.simulator.engine == "auto"

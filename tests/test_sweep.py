@@ -97,6 +97,52 @@ class TestRunSweep:
         assert clone.key == cell.key
 
 
+class TestNestedParallelism:
+    """Surplus workers split into the cells (cores >> cells policy)."""
+
+    def test_with_inner_jobs_rewrites_divisible_cells(self):
+        cell = _storage_cells(n=1)[0]
+        split = cell.with_inner_jobs(3)
+        assert split.kwargs["n_jobs"] == 3
+        assert split.key == cell.key and split.args == cell.args
+
+    def test_with_inner_jobs_respects_explicit_setting(self):
+        params = abe_parameters()
+        cell = replication_cell(
+            "c", StorageModel.spec(params, 96), HOURS, 2, n_jobs=2
+        )
+        assert cell.with_inner_jobs(4) is cell
+
+    def test_with_inner_jobs_noop_for_indivisible_cells(self):
+        cell = SweepCell("a", square_cell_fn, (2,))
+        assert cell.with_inner_jobs(4) is cell
+
+    @pytest.mark.parametrize("n_jobs", [5, 8])
+    def test_auto_split_bit_identical_to_serial(self, n_jobs):
+        """cells x replications two-level split == serial, float-for-float."""
+        serial = run_sweep(_storage_cells(n=2), n_jobs=1)
+        nested = run_sweep(_storage_cells(n=2), n_jobs=n_jobs)
+        for key in serial:
+            for m in serial[key].metrics:
+                assert nested[key].samples(m) == serial[key].samples(m)
+
+    def test_single_cell_grid_uses_inner_workers(self):
+        """A 1-cell grid gets all the workers as within-cell parallelism."""
+        serial = run_sweep(_storage_cells(n=1), n_jobs=1)
+        nested = run_sweep(_storage_cells(n=1), n_jobs=4)
+        (key,) = list(serial)
+        for m in serial[key].metrics:
+            assert nested[key].samples(m) == serial[key].samples(m)
+
+    def test_nested_false_keeps_one_worker_per_cell(self):
+        cells = _storage_cells(n=2)
+        flat = run_sweep(cells, n_jobs=8, nested=False)
+        serial = run_sweep(_storage_cells(n=2), n_jobs=1)
+        for key in serial:
+            for m in serial[key].metrics:
+                assert flat[key].samples(m) == serial[key].samples(m)
+
+
 class TestReplicationCell:
     def test_matches_model_simulate(self):
         """A cluster cell reproduces ClusterModel.simulate exactly."""
