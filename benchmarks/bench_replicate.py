@@ -1,0 +1,99 @@
+"""Compile-once/replicate-many benchmarks: cold construction vs reuse.
+
+The paper's headline numbers are availability estimates over thousands
+of replications and multi-cell sweeps, so wall-clock is replications ×
+per-run cost **plus** however often the model is constructed and
+compiled.  These benches measure that second term directly:
+
+* ``bench_replicate_cold_construct`` pays full model construction +
+  table compilation before every replication batch (an empty per-process
+  setup cache — what every sweep cell and worker pool paid before the
+  cache existed);
+* ``bench_replicate_program_reuse`` runs the same batch through the
+  warm :func:`repro.core.parallel.build_setup_cached` path — the
+  compiled program is reused, only the replications themselves run;
+* ``bench_sweep_cells_reuse`` schedules several replication cells of
+  one study through :func:`repro.experiments.sweep.run_sweep` in one
+  process: cell 1 compiles, later cells reuse.
+
+Reuse is bit-identical to cold construction (cache hits reset the
+stream counter; asserted here on the collected samples, and by
+``tests/test_sweep.py`` / ``tests/test_parallel.py`` for every
+``n_jobs``/cell split).
+"""
+
+from __future__ import annotations
+
+from repro.cfs import ClusterModel, abe_parameters
+from repro.core import parallel
+from repro.core.experiment import replicate_runs
+from repro.core.parallel import build_setup_cached
+from repro.experiments.sweep import replication_cell, run_sweep
+
+HOURS = 1200.0
+N_REPS = 3
+
+
+def _spec():
+    return ClusterModel.spec(abe_parameters(), base_seed=17)
+
+
+def _replicate(setup):
+    return replicate_runs(
+        setup.simulator,
+        HOURS,
+        n_replications=N_REPS,
+        rewards=setup.rewards,
+        traces_factory=setup.traces_factory,
+        extra_metrics=setup.extra_metrics,
+    )
+
+
+def _batch_cold():
+    parallel._SETUP_CACHE.clear()
+    setup, _metrics = build_setup_cached(_spec())
+    return _replicate(setup)
+
+
+def _batch_reuse():
+    setup, _metrics = build_setup_cached(_spec())
+    return _replicate(setup)
+
+
+def bench_replicate_cold_construct(benchmark):
+    """Full flatten + compile + replicate, every batch (cleared cache)."""
+    result = benchmark.pedantic(
+        _batch_cold, rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert result.n_replications == N_REPS
+
+
+def bench_replicate_program_reuse(benchmark):
+    """Same batch on the warm per-process cache: compile once, run many."""
+    cold = _batch_cold()  # prime the cache (and the comparison baseline)
+    result = benchmark.pedantic(
+        _batch_reuse, rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert result.n_replications == N_REPS
+    # reuse-equals-fresh: the warm program replays the cold samples
+    for metric in cold.metrics:
+        assert result.samples(metric) == cold.samples(metric)
+
+
+def bench_sweep_cells_reuse(benchmark):
+    """A serial grid of cells over one study: compile once, reuse per cell."""
+    spec = _spec()
+    cells = [
+        replication_cell(("cell", i), spec, HOURS, N_REPS) for i in range(3)
+    ]
+
+    def grid():
+        return run_sweep(cells, n_jobs=1)
+
+    results = benchmark.pedantic(grid, rounds=3, iterations=1, warmup_rounds=1)
+    first = results[("cell", 0)]
+    for key in (("cell", 1), ("cell", 2)):
+        # identical spec => identical (bit-equal) cell results, whether
+        # the cell compiled the program or reused it
+        for metric in first.metrics:
+            assert results[key].samples(metric) == first.samples(metric)

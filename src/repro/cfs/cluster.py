@@ -68,15 +68,16 @@ def build_storage_only_model(params: CFSParameters) -> FlatModel:
 
 
 def _make_cluster_simulator(model: FlatModel, base_seed: int) -> Simulator:
-    """The cluster studies' simulator configuration, in one place.
+    """The cluster/storage studies' simulator configuration, in one place.
 
     ``batch_dynamic=True``: the disk fleet draws its lifetimes through a
     marking-dependent callable (equilibrium residual for in-service
     disks, fresh Weibull after replacement), so block-serving dynamic
     draws is where the petascale model's sampling time lives.  Serial
     and parallel runs must agree bit-for-bit, so every path that builds
-    a cluster simulator — :class:`ClusterModel` and the worker-side
-    :func:`_cluster_setup` — goes through this helper.
+    a cluster or storage simulator — :class:`ClusterModel`,
+    :class:`StorageModel` and the worker-side :func:`_cluster_setup` /
+    :func:`_storage_setup` — goes through this helper.
     """
     return Simulator(model, base_seed=base_seed, batch_dynamic=True)
 
@@ -104,7 +105,7 @@ def _storage_setup(params: CFSParameters, base_seed: int) -> ReplicationSetup:
     model = build_storage_only_model(params)
     measures = build_storage_measures(model)
     return ReplicationSetup(
-        Simulator(model, base_seed=base_seed),
+        _make_cluster_simulator(model, base_seed),
         measures.rewards,
         None,
         measures.extra_metrics,
@@ -246,17 +247,21 @@ class ClusterModel:
 class StorageModel:
     """Flattened DDN fleet for the storage-isolation experiments.
 
-    Uses the default :class:`Simulator` sampling configuration (no
-    ``batch_dynamic``): the storage studies' default-mode trajectories
-    are pinned bit-for-bit by ``tests/data/reward_golden.json`` and stay
-    on the historical stream.
+    Uses the same simulator configuration as :class:`ClusterModel`
+    (``batch_dynamic=True``): the disk fleet draws its lifetimes through
+    a marking-dependent callable, so block-serving those draws is where
+    the storage sweeps' sampling time lives.  The switch changes the
+    default-mode stream consumption, so the ``storage_measures`` entries
+    of ``tests/data/reward_golden.json`` were intentionally re-recorded
+    with it (PR 5; per-draw entries were unaffected — ``sample_batch=
+    None`` ignores ``batch_dynamic``).
     """
 
     def __init__(self, params: CFSParameters, base_seed: int = 96) -> None:
         self.params = params
         self.base_seed = int(base_seed)
         self.model = build_storage_only_model(params)
-        self.simulator = Simulator(self.model, base_seed=base_seed)
+        self.simulator = _make_cluster_simulator(self.model, base_seed)
         self.measures = build_storage_measures(self.model)
 
     @staticmethod

@@ -61,7 +61,7 @@ from .places import LocalView, MarkingVector, Place
 from .rewards import ImpulseReward, RateReward, RewardResult
 from .rng import SeedTree, derive_seed, make_generator
 from .san import SAN, ActivityDef
-from .simulation import RunResult, Simulator
+from .simulation import CompiledProgram, RunResult, Simulator
 from .statespace import StateSpace, explore
 from .trace import BinaryTrace, EventTrace, Interval, TraceEvent
 
@@ -101,6 +101,7 @@ __all__ = [
     "flatten",
     "FlatModel",
     "FlatActivity",
+    "CompiledProgram",
     "Simulator",
     "RunResult",
     "RateReward",

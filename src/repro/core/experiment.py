@@ -243,11 +243,11 @@ def replicate_runs(
                 "on_result callbacks require serial execution (n_jobs=1): "
                 "RunResult objects do not cross process boundaries"
             )
-        setup = (
-            None
-            if spec is not None
-            else ReplicationSetup(simulator, rewards, traces_factory, extra_metrics)
-        )
+        # The live setup always rides along: without a spec it is the
+        # fork-inherited worker bootstrap; with one it pre-seeds the
+        # per-process setup cache so forked workers reuse this
+        # already-compiled program instead of rebuilding from the spec.
+        setup = ReplicationSetup(simulator, rewards, traces_factory, extra_metrics)
         samples = run_replications_parallel(
             until=until,
             warmup=warmup,

@@ -33,8 +33,10 @@ __all__ = [
     "InputGate",
     "OutputGate",
     "WriteOp",
+    "WriteGuard",
     "Case",
     "validate_cases",
+    "validate_guard",
 ]
 
 Predicate = Callable[[LocalView], bool]
@@ -45,12 +47,57 @@ CaseProbability = float | Callable[[LocalView], float]
 #: (``k`` may be negative) or ``(place, "set", v)`` for ``m[place] = v``.
 WriteOp = tuple[str, str, int]
 
+#: A declared guard over one place: ``(place, cmp, value)`` with ``cmp``
+#: one of ``<  <=  ==  !=  >=  >``.  Declared writes guarded by it apply
+#: exactly when ``marking[place] cmp value`` holds at completion time.
+WriteGuard = tuple[str, str, int]
+
 _WRITE_KINDS = ("add", "set")
 
+_GUARD_CMPS = ("<", "<=", "==", "!=", ">=", ">")
 
-def validate_writes(writes: tuple[WriteOp, ...], owner: str) -> tuple[WriteOp, ...]:
-    """Normalize and validate a declared-writes tuple."""
+
+def validate_guard(when: WriteGuard, owner: str) -> WriteGuard:
+    """Normalize and validate a declared write guard."""
+    try:
+        place, cmp, value = when
+    except (TypeError, ValueError):
+        raise ModelError(
+            f"{owner}: when must be a (place, cmp, int) tuple, got {when!r}"
+        ) from None
+    if not isinstance(place, str) or not place:
+        raise ModelError(
+            f"{owner}: when place must be a non-empty name, got {place!r}"
+        )
+    if cmp not in _GUARD_CMPS:
+        raise ModelError(
+            f"{owner}: when comparison must be one of {_GUARD_CMPS}, "
+            f"got {cmp!r}"
+        )
+    try:
+        is_integral = value == int(value)
+    except (TypeError, ValueError, OverflowError):
+        is_integral = False
+    if not is_integral:
+        raise ModelError(
+            f"{owner}: when value must be an integer, got {value!r}"
+        )
+    return (place, cmp, int(value))
+
+
+def validate_writes(
+    writes: tuple[WriteOp, ...], owner: str, allow_empty: bool = False
+) -> tuple[WriteOp, ...]:
+    """Normalize and validate a declared-writes tuple.
+
+    ``allow_empty`` permits the explicit empty declaration ``()`` — "this
+    function writes nothing" — used by no-op case branches; a gate or
+    effect that writes nothing would simply be omitted, so gates keep
+    requiring at least one op.
+    """
     if not writes:
+        if allow_empty:
+            return ()
         raise ModelError(
             f"{owner}: writes must not be empty (omit it to keep the "
             "gate function uncompiled)"
@@ -72,7 +119,11 @@ def validate_writes(writes: tuple[WriteOp, ...], owner: str) -> tuple[WriteOp, .
             raise ModelError(
                 f"{owner}: writes kind must be 'add' or 'set', got {kind!r}"
             )
-        if amount != int(amount):
+        try:
+            is_integral = amount == int(amount)
+        except (TypeError, ValueError, OverflowError):
+            is_integral = False
+        if not is_integral:
             raise ModelError(
                 f"{owner}: writes amount must be an integer, got {amount!r}"
             )
@@ -131,14 +182,23 @@ class OutputGate:
     function (see ``docs/performance.md`` Layer 5); the declaration is
     verified against the function on the activity's first completion of
     each run, and a mismatch raises
-    :class:`~repro.core.errors.SimulationError`.  Conditional effects
-    (writes that depend on the marking), marking-dependent amounts and
-    rng-consuming functions cannot be declared.
+    :class:`~repro.core.errors.SimulationError`.  Marking-dependent
+    amounts and rng-consuming functions cannot be declared.
+
+    ``when`` extends the declaration to the one conditional shape the
+    paper models need (the tier-restore effect): a :data:`WriteGuard`
+    ``(place, cmp, value)`` stating that in every marking where the
+    guard holds the function performs exactly the declared writes, and
+    in every other marking it performs **no** writes.  The compiled
+    engine evaluates the guard on the completion marking and applies
+    the ops (or nothing); each guard branch is verified on its first
+    occurrence.  ``when`` requires ``writes``.
     """
 
     function: GateFunction
     name: str = ""
     writes: tuple[WriteOp, ...] | None = None
+    when: WriteGuard | None = None
 
     def __post_init__(self) -> None:
         if not callable(self.function):
@@ -151,6 +211,20 @@ class OutputGate:
                     tuple(self.writes), f"output gate {self.name or '<anonymous>'!r}"
                 ),
             )
+        if self.when is not None:
+            if self.writes is None:
+                raise ModelError(
+                    f"output gate {self.name or '<anonymous>'!r}: when "
+                    "requires writes (a guard over undeclared writes is "
+                    "meaningless)"
+                )
+            object.__setattr__(
+                self,
+                "when",
+                validate_guard(
+                    self.when, f"output gate {self.name or '<anonymous>'!r}"
+                ),
+            )
 
 
 @dataclass(frozen=True)
@@ -160,11 +234,24 @@ class Case:
     ``probability`` may be a constant or a marking-dependent callable
     ``f(m) -> float`` (Möbius allows marking-dependent case probabilities;
     the paper's propagation probability *p* is a constant case weight).
+
+    ``writes`` optionally *declares* the case function's effect as a
+    fixed :data:`WriteOp` sequence, with the same contract as
+    :class:`OutputGate` writes (same places, same constant deltas in
+    every marking, no rng use) — the explicit empty tuple ``()``
+    declares a no-op branch.  When every case of an activity declares
+    its writes (and its probabilities are constants, its gates hold no
+    other Python functions), the compiled engine selects the branch
+    with the same single uniform draw and applies the precomputed slot
+    deltas — a **case kernel** — instead of calling the case function;
+    each branch is verified against its function on its first
+    selection.  See ``docs/performance.md`` Layer 6.
     """
 
     probability: CaseProbability
     function: GateFunction = _noop
     name: str = ""
+    writes: tuple[WriteOp, ...] | None = None
 
     def __post_init__(self) -> None:
         if not callable(self.function):
@@ -173,6 +260,16 @@ class Case:
             p = float(self.probability)
             if not (0.0 <= p <= 1.0):
                 raise ModelError(f"case probability must be in [0, 1], got {p}")
+        if self.writes is not None:
+            object.__setattr__(
+                self,
+                "writes",
+                validate_writes(
+                    tuple(self.writes),
+                    f"case {self.name or '<anonymous>'!r}",
+                    allow_empty=True,
+                ),
+            )
 
     def probability_in(self, m: LocalView) -> float:
         """Evaluate the case probability in marking ``m``."""

@@ -23,6 +23,21 @@ Two ways to get a model into the workers:
   with the ``fork`` start method (Linux, macOS with default disabled —
   a :class:`~repro.core.errors.SimulationError` explains the fallback).
 
+Either way, a built setup is **reused, never rebuilt**, within one
+process: :func:`build_setup_cached` keeps a small per-process LRU of
+setups keyed by their spec, so repeated pools, sweep cells and nested
+replication pools pay model construction + table compilation once per
+process (compile-once/replicate-many, see ``docs/performance.md``
+Layer 6).  Reuse is bit-identical to fresh construction: a cache hit
+resets the simulator's stream counter
+(:meth:`~repro.core.simulation.Simulator.reset_streams`), and every
+other carry-over (verification flags, predicate memos, discovered
+dependencies) is trajectory-neutral by the engine's contracts.  With
+the ``fork`` start method the parent additionally *seeds* the cache
+with its own already-built setup before a spec-mode pool forks, so the
+workers inherit the compiled program through copy-on-write memory and
+skip the rebuild entirely.
+
 Use via :func:`repro.core.experiment.replicate_runs` with ``n_jobs``.
 """
 
@@ -30,6 +45,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -40,6 +57,7 @@ from .rng import make_generator
 __all__ = [
     "ReplicationSetup",
     "ReplicationSpec",
+    "build_setup_cached",
     "pool_context",
     "resolve_n_jobs",
     "run_replications_parallel",
@@ -113,11 +131,76 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
 
 
 # ----------------------------------------------------------------------
+# per-process setup reuse (compile-once/replicate-many)
+# ----------------------------------------------------------------------
+# Small LRU of built setups keyed by their pickled spec.  Lives at module
+# level so it survives across pools within one process (sweep workers
+# execute many cells), and so ``fork`` children inherit a parent-seeded
+# entry through copy-on-write memory.  Bounded: petascale setups hold a
+# ~12k-place compiled program each.
+_SETUP_CACHE: OrderedDict[bytes, tuple[ReplicationSetup, dict]] = OrderedDict()
+_SETUP_CACHE_MAX = 4
+
+
+def _spec_key(spec: ReplicationSpec) -> bytes:
+    """Deterministic per-process cache key for a spec.
+
+    Specs are picklable by contract; equal specs built the same way
+    pickle to equal bytes within one interpreter, and a spurious
+    mismatch merely costs a rebuild.
+    """
+    return pickle.dumps(
+        (spec.factory, spec.args, sorted(spec.kwargs.items()))
+    )
+
+
+def build_setup_cached(
+    spec: ReplicationSpec,
+) -> tuple[ReplicationSetup, dict[str, Callable]]:
+    """Build a spec's setup (and metric table), reusing a prior build.
+
+    On a cache hit the setup's simulator stream counter is reset, so the
+    returned setup replays exactly the runs a freshly built one would —
+    reuse-equals-fresh is what lets sweep cells and replication pools
+    share one compiled program per process without perturbing results
+    (every other carried-over state is trajectory-neutral; see
+    :meth:`~repro.core.simulation.Simulator.reset_streams`).
+    """
+    key = _spec_key(spec)
+    entry = _SETUP_CACHE.get(key)
+    if entry is None:
+        setup = spec.build()
+        entry = (setup, setup.metrics())
+        _SETUP_CACHE[key] = entry
+        while len(_SETUP_CACHE) > _SETUP_CACHE_MAX:
+            _SETUP_CACHE.popitem(last=False)
+    else:
+        _SETUP_CACHE.move_to_end(key)
+        entry[0].simulator.reset_streams()
+    return entry
+
+
+def _seed_setup_cache(spec: ReplicationSpec, setup: ReplicationSetup) -> bytes | None:
+    """Pre-seed the cache with the parent's live setup before forking.
+
+    Returns the key to drop afterwards (the entry borrows the caller's
+    simulator, so it must not outlive the pool in the parent), or
+    ``None`` when the spec was already cached.
+    """
+    key = _spec_key(spec)
+    if key in _SETUP_CACHE:
+        return None
+    _SETUP_CACHE[key] = (setup, setup.metrics())
+    return key
+
+
+# ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-# In spec mode the initializer builds the setup from the pickled spec; in
-# inherit mode the parent stores it here *before* forking the pool, and
-# the child reads the copy-on-write global.
+# In spec mode the initializer builds the setup from the pickled spec
+# (through the per-process cache, which a forked child may inherit
+# pre-seeded); in inherit mode the parent stores it here *before*
+# forking the pool, and the child reads the copy-on-write global.
 _WORKER_SETUP: ReplicationSetup | None = None
 _WORKER_METRICS: dict[str, Callable] | None = None
 
@@ -125,7 +208,8 @@ _WORKER_METRICS: dict[str, Callable] | None = None
 def _init_worker(spec: ReplicationSpec | None) -> None:
     global _WORKER_SETUP, _WORKER_METRICS
     if spec is not None:
-        _WORKER_SETUP = spec.build()
+        _WORKER_SETUP, _WORKER_METRICS = build_setup_cached(spec)
+        return
     if _WORKER_SETUP is None:  # pragma: no cover - defensive
         raise SimulationError(
             "worker has no replication setup (no spec given and nothing "
@@ -186,17 +270,27 @@ def run_replications_parallel(
     """Run replications ``counter_base .. counter_base + n - 1`` in a pool.
 
     Returns per-metric sample lists in replication order — bit-identical
-    to running the same streams serially.  Exactly one of ``spec`` /
-    ``setup`` selects the worker bootstrap mode (``setup`` requires the
-    ``fork`` start method; ``spec`` works everywhere).
+    to running the same streams serially.  ``spec`` / ``setup`` select
+    the worker bootstrap mode: ``setup`` alone inherits the parent's
+    objects via ``fork`` (required); ``spec`` works everywhere.  With
+    **both**, workers bootstrap from the spec but — under ``fork`` —
+    inherit the parent's already-built ``setup`` through the pre-seeded
+    per-process cache, skipping model construction + compilation
+    entirely (the caller vouches that ``setup`` realizes ``spec``, the
+    same contract as ``replicate_runs(spec=...)``).
     """
-    if (spec is None) == (setup is None):
-        raise SimulationError("pass exactly one of spec= or setup=")
+    if spec is None and setup is None:
+        raise SimulationError("pass spec=, setup=, or both")
 
+    seeded_key: bytes | None = None
     if spec is not None:
-        # Spec mode: workers rebuild from the picklable recipe.
+        # Spec mode: workers rebuild from the picklable recipe (or reuse
+        # the parent's build when forked over a pre-seeded cache).
         ctx = pool_context()
         init_arg = spec
+        if setup is not None and ctx.get_start_method() == "fork":
+            seeded_key = _seed_setup_cache(spec, setup)
+        setup = None  # _WORKER_SETUP stays untouched in spec mode
     else:
         ctx = _fork_context()
         if ctx is None:
@@ -230,6 +324,10 @@ def run_replications_parallel(
             )
     finally:
         _WORKER_SETUP = None
+        if seeded_key is not None:
+            # The seeded entry borrows the caller's live simulator; do
+            # not let later same-process cache hits reset its streams.
+            _SETUP_CACHE.pop(seeded_key, None)
 
     results.sort(key=lambda item: item[0])
     samples: dict[str, list[float]] = {}

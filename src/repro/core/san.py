@@ -171,6 +171,7 @@ class SAN:
         cases: Iterable[Case] = (),
         reads: Iterable[str] | None = None,
         writes: Iterable[tuple[str, str, int]] | None = None,
+        when: tuple[str, str, int] | None = None,
         reactivate: bool = False,
     ) -> ActivityDef:
         """Declare a timed activity.
@@ -185,7 +186,10 @@ class SAN:
         slot deltas instead of calling the Python function — see
         :class:`~repro.core.gates.OutputGate`.  It requires ``effect``
         (annotate explicit gates by constructing
-        ``OutputGate(fn, writes=[...])`` directly).
+        ``OutputGate(fn, writes=[...])`` directly).  ``when`` optionally
+        guards the declared writes with a ``(place, cmp, value)``
+        condition for conditional effects ("write exactly this iff the
+        guard holds, nothing otherwise"); it requires ``writes``.
 
         ``reads`` optionally declares the dependency set: the local place
         names that the enabling predicates — and, for marking-dependent
@@ -208,7 +212,7 @@ class SAN:
             + list(input_gates)
         )
         ogs = tuple(
-            self._effect_gates(name, effect, writes) + list(output_gates)
+            self._effect_gates(name, effect, writes, when) + list(output_gates)
         )
         act = ActivityDef(
             name=name,
@@ -228,6 +232,7 @@ class SAN:
         name: str,
         effect: GateFunction | None,
         writes: Iterable[tuple[str, str, int]] | None,
+        when: tuple[str, str, int] | None = None,
     ) -> list[OutputGate]:
         """Wrap the ``effect`` convenience into its output gate."""
         if effect is None:
@@ -236,12 +241,18 @@ class SAN:
                     f"SAN {self.name!r}: activity {name!r} declares writes "
                     "without an effect function"
                 )
+            if when is not None:
+                raise ModelError(
+                    f"SAN {self.name!r}: activity {name!r} declares a write "
+                    "guard without an effect function"
+                )
             return []
         return [
             OutputGate(
                 effect,
                 name=f"{name}.effect",
                 writes=None if writes is None else tuple(writes),
+                when=when,
             )
         ]
 
@@ -256,20 +267,21 @@ class SAN:
         cases: Iterable[Case] = (),
         reads: Iterable[str] | None = None,
         writes: Iterable[tuple[str, str, int]] | None = None,
+        when: tuple[str, str, int] | None = None,
         priority: int = 0,
     ) -> ActivityDef:
         """Declare an instantaneous (zero-delay) activity.
 
         ``reads`` declares the enabling predicates' dependency set and
-        ``writes`` the effect's marking writes, with the same contracts
-        as :meth:`timed`.
+        ``writes`` the effect's marking writes (optionally guarded by
+        ``when``), with the same contracts as :meth:`timed`.
         """
         igs = tuple(
             ([InputGate(enabled, name=f"{name}.enabled")] if enabled is not None else [])
             + list(input_gates)
         )
         ogs = tuple(
-            self._effect_gates(name, effect, writes) + list(output_gates)
+            self._effect_gates(name, effect, writes, when) + list(output_gates)
         )
         act = ActivityDef(
             name=name,

@@ -59,7 +59,32 @@ Hot-path design (see ``docs/performance.md`` for measurements):
   declaration is verified against the gate functions on the activity's
   first completion each run; kernels are bit-identical to the function
   path in both sampling modes (pinned by the goldens and the
-  ``engine="reference"`` differential, which never uses kernels).
+  ``engine="reference"`` differential, which never uses kernels);
+* *case-bearing* activities whose every case declares its writes
+  (``Case(..., writes=[...])``, constant probabilities, no other
+  Python gate functions) are compiled into **case kernels**: the loops
+  select a branch with the same single uniform the function path
+  consumes — identical left-to-right partial-sum thresholds — and
+  apply that branch's precomputed slot deltas.  Conditional effects of
+  the one declared shape (``OutputGate(..., writes=[...],
+  when=(place, cmp, value))``) compile into two-branch **guard
+  kernels** selected by the marking instead of a uniform.  Every
+  branch is verified against its Python function on its first
+  selection (same undeclared-write / rng-use checks as gate-write
+  kernels), so the cluster models' propagation coins (disk/member
+  ``fail``, ``absorb_kill``) and the conditional tier ``restore`` run
+  with zero Python-effect activities (see ``fastpath_report``).
+
+The compile artifacts live in a :class:`CompiledProgram` — immutable
+model structure (tables, dependency maps, kernels, sampler plans) plus
+the per-run mutable state (marking vector, discovered-dependency
+journal, one-shot verification flags), reset in O(marking) at the start
+of every run.  A program can be built once and shared by many
+simulators (``Simulator(program)`` or ``Simulator(model,
+program=...)``), which is what lets replicate-many and sweep workloads
+compile once per process and reuse the program across replications and
+cells — bit-identical to fresh construction, because a run's trajectory
+is a pure function of (model, stream).
 
 Reward variables (:mod:`repro.core.rewards`) and traces
 (:mod:`repro.core.trace`) are observed with the same dependency machinery,
@@ -75,7 +100,7 @@ than a generic slow path:
   accumulation, window clipping and instant-of-time probes are all inline
   checks in the loop;
 * instantaneous activities and stop predicates are also inline checks
-  (``n_inst_enabled`` / one predicate call per event), so the paper's
+  (an enabled-instant set / one predicate call per event), so the paper's
   cluster models — instants, rate and impulse rewards attached — stay on
   the compiled fast path.  Only genuinely observer-free *and* probe-free
   models run the plain loop that skips every check.
@@ -91,6 +116,7 @@ before the specialization existed.
 from __future__ import annotations
 
 import heapq
+import operator
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -111,10 +137,25 @@ from .rng import make_generator
 from .san import INSTANT, TIMED
 from .trace import BinaryTrace, EventTrace
 
-__all__ = ["Simulator", "RunResult"]
+__all__ = ["CompiledProgram", "Simulator", "RunResult"]
 
 #: Default block size for batched delay draws.
 DEFAULT_SAMPLE_BATCH = 256
+
+#: Sentinel distinguishing "argument not passed" from an explicit value
+#: when a Simulator adopts an existing CompiledProgram.
+_UNSET = object()
+
+#: Compiled comparison functions for declared write guards
+#: (``OutputGate(..., when=(place, cmp, value))``).
+_GUARD_FNS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">=": operator.ge,
+    ">": operator.gt,
+}
 
 
 class _RngGuard:
@@ -198,6 +239,7 @@ class _Compiled:
         "case_tab",
         "plain1",
         "kernels",
+        "case_kern",
         "samplers",
         "samp_kind",
         "dyn_dists",
@@ -260,85 +302,50 @@ def _make_checked_sampler(dist: Distribution, path: str) -> Callable:
     return sample
 
 
-class Simulator:
-    """Executes runs of a :class:`~repro.core.composition.FlatModel`.
+class CompiledProgram:
+    """Compiled, reusable form of a model plus its sampling configuration.
 
-    The simulator is reusable: dependency maps discovered during one run
-    carry over to the next (they are conservative supersets, so correctness
-    is unaffected and later runs start warm).  A simulator instance is not
-    re-entrant: it owns one marking vector, so at most one :meth:`run` may
-    be in flight per instance (use one simulator per process/thread).
+    The program owns everything :meth:`Simulator.run` needs that is *not*
+    per-run: the compiled per-activity tables (:class:`_Compiled`), the
+    slot → activity dependency map, the gate-write / case kernels and
+    sampler plans, plus the trajectory-neutral warm state (one-shot
+    declaration-verification flags, predicate memos, pattern caches).
+    Per-run mutable state — the marking vector, batched-sampler blocks
+    and post-compile dependency discoveries — is rolled back in
+    O(marking) at the start of every run, so a run's trajectory is a
+    pure function of (model, stream) no matter how many runs the
+    program served before.
+
+    Build one per process and hand it to any number of simulators
+    (``Simulator(program)``), sequentially: the program is bound to one
+    marking vector, so at most one run may be in flight across all
+    simulators sharing it.  This is the compile-once/replicate-many
+    contract used by :func:`repro.core.experiment.replicate_runs`
+    workers and :mod:`repro.experiments.sweep` cells (see
+    ``docs/performance.md`` Layer 6).
 
     Parameters
     ----------
     model:
-        Flattened model to execute.
-    base_seed:
-        Root entropy; run ``k`` (the ``k``-th call to :meth:`run` without an
-        explicit seed) uses an independent stream derived from it.
-    max_instant_chain:
-        Fixpoint guard: maximum zero-time firings at a single instant before
-        :class:`~repro.core.errors.InstantaneousLoopError` is raised.
-    sample_batch:
-        Block size for vectorized delay draws (default
-        :data:`DEFAULT_SAMPLE_BATCH`); one block per distinct distribution
-        object, covering every law that advertises
-        :attr:`~repro.core.distributions.Distribution.batchable`.
-        ``None`` selects per-draw sampling, which consumes the RNG
-        stream one variate at a time exactly like the pre-optimization
-        engine (use it to reproduce historical trajectories).  Both modes
-        are fully deterministic for a fixed seed, but they follow
-        different (equally valid) trajectories because blocks consume the
-        stream ahead of time.
-    batch_dynamic:
-        Also serve the distributions *returned by marking-dependent
-        distribution callables* from vectorized blocks (one block per
-        distinct returned object, cache rebuilt each run so a
-        trajectory stays a pure function of (model, stream)).  Off by
-        default: enabling it changes default-mode stream consumption —
-        historical batched trajectories (e.g. the ``*_batched`` golden
-        entries) assume dynamic draws are per-draw.  No effect when
-        ``sample_batch`` is ``None``.  The paper-workload facades
-        (``ClusterModel``) enable it: the petascale disk fleet draws
-        its equilibrium-residual lifetimes through such a callable.
-    engine:
-        ``"auto"`` (default) dispatches each run to the most specialized
-        event loop the model and observers allow.  ``"reference"`` forces
-        the general un-specialized loop for every model: same features,
-        same trajectories, no inlining — the differential-testing oracle
-        for the specialized paths.
+        Flattened model to compile.
+    sample_batch / batch_dynamic:
+        Sampling configuration; see :class:`Simulator`.  They live on
+        the program because the compiled sampler plans depend on them.
     """
 
     def __init__(
         self,
         model: FlatModel,
-        base_seed: int = 0,
-        max_instant_chain: int = 100_000,
         sample_batch: int | None = DEFAULT_SAMPLE_BATCH,
         batch_dynamic: bool = False,
-        engine: str = "auto",
     ) -> None:
         self.model = model
-        self.base_seed = int(base_seed)
-        self.max_instant_chain = int(max_instant_chain)
         self.sample_batch = None if sample_batch is None else int(sample_batch)
         if self.sample_batch is not None and self.sample_batch < 1:
             raise SimulationError(
                 f"sample_batch must be >= 1 or None, got {sample_batch}"
             )
         self.batch_dynamic = bool(batch_dynamic)
-        if engine not in ("auto", "reference"):
-            raise SimulationError(
-                f"engine must be 'auto' or 'reference', got {engine!r}"
-            )
-        self.engine = engine
-        self._run_counter = 0
-        # Fast-path observability (see fastpath_report): which event loop
-        # the last run dispatched to, and how many completions applied a
-        # compiled gate-write kernel vs. called Python gate functions.
-        self.last_loop: str | None = None
-        self.last_kernel_effects = 0
-        self.last_python_effects = 0
 
         acts = model.activities
         self._n_acts = len(acts)
@@ -374,6 +381,10 @@ class Simulator:
         # same trajectories whether or not verification already happened.
         self._kern_verified = [False] * self._n_acts
         self._dyn_verified = [False] * self._n_acts
+        # Per-branch verification flags for case/guard kernels (None when
+        # the activity compiled no case kernel): flags[i] marks branch i
+        # verified.  Same persistence contract as _kern_verified.
+        self._case_verified: list[list[bool] | None] = [None] * self._n_acts
         # Enabling memo for declared single-read activities: the declared
         # contract makes such a predicate a pure function of one slot's
         # value, so its results are cached per value and the hot loops
@@ -460,6 +471,15 @@ class Simulator:
         # only ever mutated in place), so the inlined loops mark
         # dependents without re-indexing.
         c.kernels = [None] * n
+        # case_kern[aid]: compiled branch-selecting kernel — (bounds,
+        # guard, branch_ops, branch_fns, branch_labels).  Probabilistic
+        # mode (bounds: cumulative case thresholds, identical to the
+        # case_tab partial sums; guard None) selects a branch with one
+        # uniform; guard mode (bounds None; guard (slot, cmp_fn, value))
+        # selects branch 0/1 from the completion marking.  branch_ops[i]
+        # is the branch's precomputed slot-op tuple, branch_fns[i] the
+        # Python functions it is verified against on first selection.
+        c.case_kern = [None] * n
         c.samplers = [None] * n
         # samp_kind[aid]: how the delay draw is served ("const",
         # "batched", "scalar", "dynamic"; None for instants) — compile
@@ -517,26 +537,62 @@ class Simulator:
             c.og_fns[aid] = tuple(og.function for og in d.output_gates)
             if not c.ig_fns[aid] and not d.cases and len(c.og_fns[aid]) == 1:
                 c.plain1[aid] = c.og_fns[aid][0]
+            def _ops_for(writes, _act=act):
+                """Resolve a declared-writes tuple into compiled slot ops."""
+                ops = []
+                for pname, kind, amount in writes:
+                    slot = _act.index.get(pname)
+                    if slot is None:
+                        raise SimulationError(
+                            f"activity {_act.path!r}: declared write "
+                            f"{pname!r} is not a place of its SAN; "
+                            f"visible places: {sorted(_act.index)}"
+                        )
+                    ops.append((slot, kind == "add", amount, dep_lists[slot]))
+                return tuple(ops)
+
             if (
                 not c.ig_fns[aid]
                 and not d.cases
                 and d.output_gates
-                and all(og.writes is not None for og in d.output_gates)
+                and all(
+                    og.writes is not None and og.when is None
+                    for og in d.output_gates
+                )
             ):
-                ops = []
-                for og in d.output_gates:
-                    for pname, kind, amount in og.writes:
-                        slot = act.index.get(pname)
-                        if slot is None:
-                            raise SimulationError(
-                                f"activity {act.path!r}: declared write "
-                                f"{pname!r} is not a place of its SAN; "
-                                f"visible places: {sorted(act.index)}"
-                            )
-                        ops.append(
-                            (slot, kind == "add", amount, dep_lists[slot])
-                        )
-                c.kernels[aid] = tuple(ops)
+                c.kernels[aid] = tuple(
+                    op for og in d.output_gates for op in _ops_for(og.writes)
+                )
+            elif (
+                not c.ig_fns[aid]
+                and not d.cases
+                and len(d.output_gates) == 1
+                and d.output_gates[0].writes is not None
+                and d.output_gates[0].when is not None
+            ):
+                # Guard kernel: one declared conditional effect.  Branch 0
+                # = guard holds (declared ops), branch 1 = it does not (no
+                # writes); both run the same function at verification.
+                og = d.output_gates[0]
+                pname, cmp, gval = og.when
+                slot = act.index.get(pname)
+                if slot is None:
+                    raise SimulationError(
+                        f"activity {act.path!r}: write guard place "
+                        f"{pname!r} is not a place of its SAN; "
+                        f"visible places: {sorted(act.index)}"
+                    )
+                c.case_kern[aid] = (
+                    None,
+                    (slot, _GUARD_FNS[cmp], gval),
+                    (_ops_for(og.writes), ()),
+                    (c.og_fns[aid], c.og_fns[aid]),
+                    (
+                        f"guarded writes ({pname} {cmp} {gval} holds)",
+                        f"guarded writes ({pname} {cmp} {gval} fails)",
+                    ),
+                )
+                self._case_verified[aid] = [False, False]
 
             if d.cases:
                 if any(callable(case.probability) for case in d.cases):
@@ -559,6 +615,43 @@ class Simulator:
                         acc += float(case.probability)
                         bounds.append((acc, case.function))
                     c.case_tab[aid] = (tuple(bounds), None)
+                    if (
+                        not c.ig_fns[aid]
+                        and all(case.writes is not None for case in d.cases)
+                        and all(
+                            og.writes is not None and og.when is None
+                            for og in d.output_gates
+                        )
+                    ):
+                        # Case kernel: branch thresholds are exactly the
+                        # case_tab partial sums, so compiled selection is
+                        # bit-identical to per-firing accumulation; each
+                        # branch's ops are its case writes followed by
+                        # every output gate's (output gates run after the
+                        # case function on the Python path).
+                        og_ops = tuple(
+                            op
+                            for og in d.output_gates
+                            for op in _ops_for(og.writes)
+                        )
+                        og_fns_v = c.og_fns[aid]
+                        c.case_kern[aid] = (
+                            tuple(acc for acc, _fn in bounds),
+                            None,
+                            tuple(
+                                _ops_for(case.writes) + og_ops
+                                for case in d.cases
+                            ),
+                            tuple(
+                                (case.function,) + og_fns_v
+                                for case in d.cases
+                            ),
+                            tuple(
+                                f"case {case.name or i}"
+                                for i, case in enumerate(d.cases)
+                            ),
+                        )
+                        self._case_verified[aid] = [False] * len(d.cases)
 
             if d.kind == TIMED:
                 dist = d.distribution
@@ -630,49 +723,218 @@ class Simulator:
         vec.reset(model.initial)
         return c
 
+    def tables(self) -> _Compiled:
+        """The compiled per-activity tables, built on first use."""
+        if self._compiled is None:
+            self._compiled = self._compile()
+        return self._compiled
+
     def fastpath_report(self) -> dict:
-        """Compile-time fast-path coverage of this simulator's model.
+        """Compile-time fast-path coverage of this program's model.
 
-        Returns a dict mapping out which activities completed by
-        compiled gate-write kernels versus Python gate functions, and
-        how every timed delay draw is served:
+        Returns a dict mapping out which activities complete by
+        compiled kernels versus Python gate functions, and how every
+        timed delay draw is served:
 
-        * ``kernel_activities`` / ``python_effect_activities`` — sorted
-          activity paths with / without a compiled write kernel (the
-          ``auto`` engine's fast loops; ``engine="reference"`` always
-          calls the functions);
+        * ``kernel_activities`` — sorted activity paths with a compiled
+          gate-write kernel;
+        * ``case_kernel_activities`` — sorted paths with a compiled
+          case/guard kernel (branch selected per completion, slot
+          deltas applied without entering Python);
+        * ``python_effect_activities`` — sorted paths with neither: the
+          only completions that still call Python gate functions under
+          the ``auto`` engine (``engine="reference"`` always calls
+          them);
         * ``sampling`` — activity path → ``"const"`` | ``"batched"`` |
           ``"scalar"`` | ``"dynamic"`` for timed activities (dynamic
           draws are additionally block-served when ``batch_dynamic``);
         * ``sample_batch`` / ``batch_dynamic`` — the sampling knobs.
-
-        Together with :attr:`last_loop` and the
-        :attr:`last_kernel_effects` / :attr:`last_python_effects`
-        counters this is the CI hook that keeps paper-workload models
-        from silently falling off the inlined fast path
-        (``tests/test_fastpath_coverage.py``).
         """
-        c = self._compiled
-        if c is None:
-            c = self._compiled = self._compile()
+        c = self.tables()
         kernel: list[str] = []
+        case_kernel: list[str] = []
         python_effects: list[str] = []
         sampling: dict[str, str] = {}
         for act in self.model.activities:
             aid = act.ident
             if c.kernels[aid] is not None:
                 kernel.append(act.path)
+            elif c.case_kern[aid] is not None:
+                case_kernel.append(act.path)
             else:
                 python_effects.append(act.path)
             if c.samp_kind[aid] is not None:
                 sampling[act.path] = c.samp_kind[aid]
         return {
             "kernel_activities": sorted(kernel),
+            "case_kernel_activities": sorted(case_kernel),
             "python_effect_activities": sorted(python_effects),
             "sampling": sampling,
             "sample_batch": self.sample_batch,
             "batch_dynamic": self.batch_dynamic,
         }
+
+
+class Simulator:
+    """Executes runs of a :class:`~repro.core.composition.FlatModel`.
+
+    The simulator is reusable: dependency maps discovered during one run
+    carry over to the next (they are conservative supersets, so correctness
+    is unaffected and later runs start warm).  A simulator instance is not
+    re-entrant: it owns one marking vector, so at most one :meth:`run` may
+    be in flight per instance (use one simulator per process/thread).
+
+    Parameters
+    ----------
+    model:
+        Flattened model to execute, or an existing
+        :class:`CompiledProgram` to adopt (compile-once/replicate-many:
+        every simulator built on the same program shares its tables,
+        dependency maps, kernels and sampler plans instead of
+        recompiling; runs on sharing simulators must be sequential).
+    base_seed:
+        Root entropy; run ``k`` (the ``k``-th call to :meth:`run` without an
+        explicit seed) uses an independent stream derived from it.
+    max_instant_chain:
+        Fixpoint guard: maximum zero-time firings at a single instant before
+        :class:`~repro.core.errors.InstantaneousLoopError` is raised.
+    sample_batch:
+        Block size for vectorized delay draws (default
+        :data:`DEFAULT_SAMPLE_BATCH`); one block per distinct distribution
+        object, covering every law that advertises
+        :attr:`~repro.core.distributions.Distribution.batchable`.
+        ``None`` selects per-draw sampling, which consumes the RNG
+        stream one variate at a time exactly like the pre-optimization
+        engine (use it to reproduce historical trajectories).  Both modes
+        are fully deterministic for a fixed seed, but they follow
+        different (equally valid) trajectories because blocks consume the
+        stream ahead of time.
+    batch_dynamic:
+        Also serve the distributions *returned by marking-dependent
+        distribution callables* from vectorized blocks (one block per
+        distinct returned object, cache rebuilt each run so a
+        trajectory stays a pure function of (model, stream)).  Off by
+        default: enabling it changes default-mode stream consumption —
+        historical batched trajectories (e.g. the ``*_batched`` golden
+        entries) assume dynamic draws are per-draw.  No effect when
+        ``sample_batch`` is ``None``.  The paper-workload facades
+        (``ClusterModel``, ``StorageModel``) enable it: the disk fleets
+        draw their equilibrium-residual lifetimes through such a
+        callable.
+    engine:
+        ``"auto"`` (default) dispatches each run to the most specialized
+        event loop the model and observers allow.  ``"reference"`` forces
+        the general un-specialized loop for every model: same features,
+        same trajectories, no inlining — the differential-testing oracle
+        for the specialized paths.
+    program:
+        Existing :class:`CompiledProgram` to adopt (alternative to
+        passing it as ``model``).  Must have been compiled for the same
+        model object, and any explicitly passed ``sample_batch`` /
+        ``batch_dynamic`` must agree with the program's configuration.
+    """
+
+    def __init__(
+        self,
+        model: FlatModel | CompiledProgram,
+        base_seed: int = 0,
+        max_instant_chain: int = 100_000,
+        sample_batch: int | None = _UNSET,
+        batch_dynamic: bool = _UNSET,
+        engine: str = "auto",
+        program: CompiledProgram | None = None,
+    ) -> None:
+        if isinstance(model, CompiledProgram):
+            if program is not None and program is not model:
+                raise SimulationError(
+                    "pass the compiled program once (positionally or as "
+                    "program=..., not two different ones)"
+                )
+            program = model
+            model = program.model
+        if program is not None:
+            if program.model is not model:
+                raise SimulationError(
+                    "program= was compiled for a different model object"
+                )
+            if sample_batch is not _UNSET:
+                explicit = None if sample_batch is None else int(sample_batch)
+                if explicit != program.sample_batch:
+                    raise SimulationError(
+                        f"sample_batch={sample_batch!r} conflicts with the "
+                        f"adopted program's ({program.sample_batch!r})"
+                    )
+            if batch_dynamic is not _UNSET and bool(batch_dynamic) != program.batch_dynamic:
+                raise SimulationError(
+                    f"batch_dynamic={batch_dynamic!r} conflicts with the "
+                    f"adopted program's ({program.batch_dynamic!r})"
+                )
+            self.program = program
+        else:
+            self.program = CompiledProgram(
+                model,
+                sample_batch=(
+                    DEFAULT_SAMPLE_BATCH if sample_batch is _UNSET else sample_batch
+                ),
+                batch_dynamic=(
+                    False if batch_dynamic is _UNSET else bool(batch_dynamic)
+                ),
+            )
+        self.model = model
+        self.base_seed = int(base_seed)
+        self.max_instant_chain = int(max_instant_chain)
+        if engine not in ("auto", "reference"):
+            raise SimulationError(
+                f"engine must be 'auto' or 'reference', got {engine!r}"
+            )
+        self.engine = engine
+        self._run_counter = 0
+        # Fast-path observability (see fastpath_report): which event loop
+        # the last run dispatched to, and how many completions applied a
+        # compiled gate-write kernel / case kernel vs. called Python gate
+        # functions.
+        self.last_loop: str | None = None
+        self.last_kernel_effects = 0
+        self.last_case_kernels = 0
+        self.last_python_effects = 0
+
+    @property
+    def sample_batch(self) -> int | None:
+        """Block size for vectorized delay draws (``None`` = per-draw)."""
+        return self.program.sample_batch
+
+    @property
+    def batch_dynamic(self) -> bool:
+        """Whether marking-dependent draws are block-served."""
+        return self.program.batch_dynamic
+
+    def reset_streams(self) -> None:
+        """Reset the run counter so the next :meth:`run` uses stream 0.
+
+        Everything else a run could observe is already reset at run
+        entry (marking, discovered dependencies, sampler blocks) or is
+        trajectory-neutral warm state (verification flags, predicate
+        memos), so after ``reset_streams()`` a reused simulator or
+        program replays exactly the runs a freshly constructed one
+        would — the reuse-equals-fresh contract of
+        compile-once/replicate-many.
+        """
+        self._run_counter = 0
+
+    def _matching_ids(self, pattern: str | Callable[[str], bool]) -> list[int]:
+        return self.program._matching_ids(pattern)
+
+    def fastpath_report(self) -> dict:
+        """Compile-time fast-path coverage of this simulator's model.
+
+        See :meth:`CompiledProgram.fastpath_report` for the fields.
+        Together with :attr:`last_loop` and the
+        :attr:`last_kernel_effects` / :attr:`last_case_kernels` /
+        :attr:`last_python_effects` counters this is the CI hook that
+        keeps paper-workload models from silently falling off the
+        inlined fast path (``tests/test_fastpath_coverage.py``).
+        """
+        return self.program.fastpath_report()
 
     # ------------------------------------------------------------------
     # main entry point
@@ -719,11 +981,10 @@ class Simulator:
                 rng = make_generator(int(seed))
         self._run_counter += 1
 
-        c = self._compiled
-        if c is None:
-            c = self._compiled = self._compile()
-        if self._dep_journal:
-            self._reset_discovered_deps()
+        p = self.program
+        c = p.tables()
+        if p._dep_journal:
+            p._reset_discovered_deps()
         model = self.model
         vector = c.vector
         vector.reset(model.initial)
@@ -742,56 +1003,66 @@ class Simulator:
         og_fns = c.og_fns
         case_tab = c.case_tab
         plain1 = c.plain1
-        kernels = c.kernels if self.engine != "reference" else [None] * self._n_acts
+        reference = self.engine == "reference"
+        kernels = c.kernels if not reference else [None] * p._n_acts
+        case_kern = c.case_kern if not reference else [None] * p._n_acts
+        case_ok = p._case_verified
         samplers = c.samplers
         dyn_dists = c.dyn_dists
         is_timed = c.is_timed
         declared = c.declared
         memo_slot = c.memo_slot
-        pred_memo = self._pred_memo
+        pred_memo = p._pred_memo
         reactivate = c.reactivate
         act_paths = c.paths
-        act_deps = self._act_deps
-        dep_lists = self._dep_lists
-        dep_journal = self._dep_journal
-        instant_ids = self._instant_ids
-        priorities = self._priorities
+        act_deps = p._act_deps
+        dep_lists = p._dep_lists
+        dep_journal = p._dep_journal
+        instant_ids = p._instant_ids
+        priorities = p._priorities
         has_instants = bool(instant_ids)
         max_chain = self.max_instant_chain
         heappush = heapq.heappush
         heappop = heapq.heappop
         rng_uniform = rng.uniform
 
-        n_acts = self._n_acts
+        n_acts = p._n_acts
         # token parity encodes liveness: odd = activity has a live event.
         # Completion and deactivation both bump the token, so a heap
         # entry's token mismatching the current one marks it stale.
         token = [0] * n_acts
         enabled_instant = [False] * n_acts
-        n_inst_enabled = 0
+        # Currently-enabled instantaneous activities, kept as a set so
+        # the firing scan touches only the (few) enabled ones instead of
+        # every instant in the model; the selection below re-imposes the
+        # canonical order, so iteration order never leaks.
+        inst_enabled: set[int] = set()
         stamp = [0] * n_acts  # epoch marks for dirty-list dedup
         # declared activities' distribution callables are verified against
         # the declaration on their first evaluation; gate-write kernels
         # against their gate functions on their first completion.  Both
-        # flags persist across runs (see __init__): verification is
-        # observation-only, so skipping it on warm simulators cannot
+        # flags persist across runs (see CompiledProgram): verification
+        # is observation-only, so skipping it on warm programs cannot
         # change a trajectory.
-        dyn_checked = self._dyn_verified
-        kern_ok = self._kern_verified
-        # Only kernel completions are counted per event (free for models
-        # without kernels); python-effect completions are derived at run
-        # end as n_events - n_kernel_effects (verification firings run
-        # the Python functions, so they count as python effects).
+        dyn_checked = p._dyn_verified
+        kern_ok = p._kern_verified
+        # Only compiled completions are counted per event (free for
+        # models without kernels); python-effect completions are derived
+        # at run end as n_events - n_kernel_effects - n_case_kernels
+        # (verification firings run the Python functions, so they count
+        # as python effects).
         n_kernel_effects = 0
+        n_case_kernels = 0
         epoch = 0
         heap: list[tuple[float, int, int, int]] = []  # (time, seq, aid, token)
         seq = 0
         now = 0.0
         n_events = 0
 
-        # uniform block for case selection (batched mode only)
+        # uniform block for case selection (batched mode only; kept as a
+        # plain list so selections compare Python floats, not np scalars)
         u_batch = self.sample_batch
-        u_buf: np.ndarray | None = None
+        u_buf: list[float] | None = None
         u_pos = 0
 
         # Per-run sampler cache for marking-dependent distributions,
@@ -908,6 +1179,18 @@ class Simulator:
                     lst = etrace_by_act[aid] = []
                 lst.append(tr)
         has_observers = bool(impulse_rewards or event_traces)
+        # Combined per-activity completion-observer table for the fast
+        # loops: one index + None check on the (dominant) unobserved
+        # activities instead of two.
+        act_watch: list[tuple[list | None, list | None] | None] = [None] * n_acts
+        if has_observers:
+            for _aid in range(n_acts):
+                if impulse_by_act[_aid] is not None or etrace_by_act[_aid] is not None:
+                    act_watch[_aid] = (impulse_by_act[_aid], etrace_by_act[_aid])
+        # Per-activity "has a case/guard kernel" flags: compile makes
+        # plain kernels and case kernels mutually exclusive, so the hot
+        # dispatch needs one boolean load, not a second table probe.
+        has_case = [ck is not None for ck in case_kern]
 
         # Rate-reward / binary-trace incremental state: slot -> observer
         # indices as flat list-of-lists indexed by slot (same shape as the
@@ -1099,7 +1382,7 @@ class Simulator:
                 u = rng_uniform()
             else:
                 if u_buf is None or u_pos >= u_batch:
-                    u_buf = rng.random(u_batch)
+                    u_buf = rng.random(u_batch).tolist()
                     u_pos = 0
                 u = u_buf[u_pos]
                 u_pos += 1
@@ -1134,20 +1417,19 @@ class Simulator:
                     return path
             return f"<slot {slot}>"  # pragma: no cover - defensive
 
-        def verify_kernel(aid: int) -> None:
-            """First completion of a kernel activity: fire through the
-            Python gate functions (bit-identical trajectory) and check
-            the declared ops reproduce exactly the writes they made.
+        def _verify_branch(aid: int, ops, fns, label: str) -> None:
+            """First completion of a compiled effect: fire through the
+            Python functions (bit-identical trajectory) and check the
+            declared ops reproduce exactly the writes they made.
 
             ``changed`` is empty at completion time (the previous event
             drained it), so after the functions run it holds precisely
             this firing's writes.
             """
-            ops = kernels[aid]
             pre = [values[slot] for slot, _a, _v, _d in ops]
             view = views[aid]
-            for og in og_fns[aid]:
-                og(view, _RNG_GUARD)
+            for fn in fns:
+                fn(view, _RNG_GUARD)
             predicted: dict[int, int] = {}
             for (slot, is_add, amount, _dl), p0 in zip(ops, pre):
                 cur = predicted.get(slot, p0)
@@ -1170,8 +1452,48 @@ class Simulator:
                     )
                 raise SimulationError(
                     f"activity {act_paths[aid]!r}: declared writes do not "
-                    f"match its gate functions ({'; '.join(parts)})"
+                    f"match {label} ({'; '.join(parts)})"
                 )
+
+        def verify_kernel(aid: int) -> None:
+            _verify_branch(aid, kernels[aid], og_fns[aid], "its gate functions")
+
+        def select_case_branch(aid: int):
+            """One completion of a case/guard-kernel activity.
+
+            Selects the branch exactly as the Python path would —
+            consuming one uniform through the shared case buffer for
+            probabilistic cases, evaluating the guard on the completion
+            marking for guarded writes — and returns the branch's
+            precomputed slot ops, or ``None`` when this selection
+            verified the branch through its Python functions (the
+            writes then sit in ``changed``, bit-identical).
+            """
+            nonlocal u_buf, u_pos
+            bounds, guard, branch_ops, branch_fns, labels = case_kern[aid]
+            if bounds is None:
+                slot, cmp_fn, gval = guard
+                idx = 0 if cmp_fn(values[slot], gval) else 1
+            else:
+                if u_batch is None:
+                    u = rng_uniform()
+                else:
+                    if u_buf is None or u_pos >= u_batch:
+                        u_buf = rng.random(u_batch).tolist()
+                        u_pos = 0
+                    u = u_buf[u_pos]
+                    u_pos += 1
+                idx = len(bounds) - 1
+                for i, acc in enumerate(bounds):
+                    if u <= acc:
+                        idx = i
+                        break
+            flags = case_ok[aid]
+            if flags[idx]:
+                return branch_ops[idx]
+            _verify_branch(aid, branch_ops[idx], branch_fns[idx], labels[idx])
+            flags[idx] = True
+            return None
 
         def _kernel_negative(aid: int, slot: int, value: int) -> None:
             raise SimulationError(
@@ -1186,18 +1508,35 @@ class Simulator:
         # the Python gate functions.
         def fire(aid: int) -> None:
             """Run gate functions and cases; writes land in ``changed``."""
-            nonlocal n_events, n_kernel_effects
+            nonlocal n_events, n_kernel_effects, n_case_kernels
             n_events += 1
             ops = kernels[aid]
             if ops is None:
-                view = views[aid]
-                for fn in ig_fns[aid]:
-                    fn(view, rng)
-                ct = case_tab[aid]
-                if ct is not None:
-                    fire_cases(aid, view, ct)
-                for og in og_fns[aid]:
-                    og(view, rng)
+                if case_kern[aid] is not None:
+                    cops = select_case_branch(aid)
+                    if cops is not None:
+                        n_case_kernels += 1
+                        for slot, is_add, amount, _dl in cops:
+                            if is_add:
+                                v = values[slot] + amount
+                                if v < 0:
+                                    _kernel_negative(aid, slot, v)
+                                values[slot] = v
+                                changed.add(slot)
+                            elif values[slot] != amount:
+                                values[slot] = amount
+                                changed.add(slot)
+                    # else: verification ran the Python functions; the
+                    # writes already sit in ``changed``.
+                else:
+                    view = views[aid]
+                    for fn in ig_fns[aid]:
+                        fn(view, rng)
+                    ct = case_tab[aid]
+                    if ct is not None:
+                        fire_cases(aid, view, ct)
+                    for og in og_fns[aid]:
+                        og(view, rng)
             elif kern_ok[aid]:
                 n_kernel_effects += 1
                 for slot, is_add, amount, _dl in ops:
@@ -1231,7 +1570,18 @@ class Simulator:
                         tr.record(now, path, gview)
 
         def update_timed(aid: int, en: bool) -> None:
-            """Apply an enabling-state change to a timed activity."""
+            """Apply an enabling-state change to a timed activity.
+
+            Activations whose completion falls beyond ``until`` are never
+            pushed: they could only be popped after the loop's horizon
+            check, so their absence cannot change the fired-event
+            sequence (lazy cancellation tolerates missing entries — a
+            later disable just bumps the token).  The stream and ``seq``
+            assignment are untouched, so trajectories are bit-identical;
+            the fleet models' heaps shrink by every idle-component
+            lifetime that exceeds the run (most of a petascale year's
+            4800 disk draws).
+            """
             nonlocal seq
             tok = token[aid]
             if en:
@@ -1244,7 +1594,9 @@ class Simulator:
                 token[aid] = tok
                 sampler = samplers[aid]
                 delay = sampler(rng) if sampler is not None else dyn_sample(aid)
-                heappush(heap, (now + delay, seq, aid, tok))
+                ft = now + delay
+                if ft <= until:
+                    heappush(heap, (ft, seq, aid, tok))
                 seq += 1
             elif tok & 1:
                 token[aid] = tok + 1
@@ -1255,7 +1607,7 @@ class Simulator:
             ``dirty`` holds unique activity ids; they are processed in
             ascending id order (the canonical deterministic order).
             """
-            nonlocal epoch, n_inst_enabled
+            nonlocal epoch
             chain = 0
             while True:
                 dirty.sort()
@@ -1289,20 +1641,29 @@ class Simulator:
                         update_timed(aid, en)
                     elif en != enabled_instant[aid]:
                         enabled_instant[aid] = en
-                        n_inst_enabled += 1 if en else -1
+                        if en:
+                            inst_enabled.add(aid)
+                        else:
+                            inst_enabled.discard(aid)
                 del dirty[:]
 
-                if not n_inst_enabled:
+                if not inst_enabled:
                     return
-                # highest priority first; ties broken by definition order
+                # Highest priority first; ties broken by definition order
+                # (lowest id).  The explicit tie-break makes the choice
+                # independent of set iteration order — identical to the
+                # historical in-order scan over every instant.
                 best = -1
                 best_pri = 0
-                for iid in instant_ids:
-                    if enabled_instant[iid]:
-                        pri = priorities[iid]
-                        if best < 0 or pri > best_pri:
-                            best = iid
-                            best_pri = pri
+                for iid in inst_enabled:
+                    pri = priorities[iid]
+                    if (
+                        best < 0
+                        or pri > best_pri
+                        or (pri == best_pri and iid < best)
+                    ):
+                        best = iid
+                        best_pri = pri
                 chain += 1
                 if chain > max_chain:
                     raise InstantaneousLoopError(
@@ -1334,13 +1695,25 @@ class Simulator:
         # The initially enabled activities were pre-computed at compile
         # time (the initial marking is the same for every run); only the
         # delay draws and the instantaneous fixpoint are per-run work.
+        # Entries are collected and heapified in one O(n) pass instead of
+        # pushed one by one: the heap's internal layout differs but the
+        # pop order — a pure function of the (time, seq) total order —
+        # is identical, so trajectories are unchanged.  The loop mirrors
+        # update_timed for a fresh (token 0, enabled) activity, horizon
+        # filter included.
         for aid in c.init_timed:
-            update_timed(aid, True)
+            token[aid] = 1
+            sampler = samplers[aid]
+            delay = sampler(rng) if sampler is not None else dyn_sample(aid)
+            if delay <= until:
+                heap.append((delay, seq, aid, 1))
+            seq += 1
+        heapq.heapify(heap)
         if has_instants:
             for aid, en in c.init_instants:
                 enabled_instant[aid] = en
                 if en:
-                    n_inst_enabled += 1
+                    inst_enabled.add(aid)
             settle([])
             # discard observer touches from the t=0 fixpoint: every
             # observer is evaluated fresh below.  Bump the epoch so the
@@ -1571,6 +1944,61 @@ class Simulator:
                                 if stamp[d] != epoch:
                                     stamp[d] = epoch
                                     dirty.append(d)
+                elif has_case[aid]:
+                    # Compiled case/guard kernel: branch selected with the
+                    # same uniform (or guard evaluation) the Python path
+                    # uses; a verified branch applies its ops exactly like
+                    # a gate-write kernel, a first selection verifies
+                    # through the Python functions (writes drain below).
+                    cops = select_case_branch(aid)
+                    if cops is not None:
+                        n_case_kernels += 1
+                        for slot, is_add, amount, dl in cops:
+                            if is_add:
+                                v = values[slot] + amount
+                                if v < 0:
+                                    _kernel_negative(aid, slot, v)
+                                values[slot] = v
+                            elif values[slot] != amount:
+                                values[slot] = amount
+                            else:
+                                continue
+                            rlist = rate_obs[slot]
+                            if rlist is not None:
+                                for i in rlist:
+                                    if rstamp[i] != obs_epoch:
+                                        rstamp[i] = obs_epoch
+                                        touched_r.append(i)
+                            tlist = btrace_obs[slot]
+                            if tlist is not None:
+                                for i in tlist:
+                                    if tstamp[i] != obs_epoch:
+                                        tstamp[i] = obs_epoch
+                                        touched_t.append(i)
+                            if dl:
+                                for d in dl:
+                                    if stamp[d] != epoch:
+                                        stamp[d] = epoch
+                                        dirty.append(d)
+                    else:
+                        while changed:
+                            slot = changed_pop()
+                            rlist = rate_obs[slot]
+                            if rlist is not None:
+                                for i in rlist:
+                                    if rstamp[i] != obs_epoch:
+                                        rstamp[i] = obs_epoch
+                                        touched_r.append(i)
+                            tlist = btrace_obs[slot]
+                            if tlist is not None:
+                                for i in tlist:
+                                    if tstamp[i] != obs_epoch:
+                                        tstamp[i] = obs_epoch
+                                        touched_t.append(i)
+                            for d in dep_lists[slot]:
+                                if stamp[d] != epoch:
+                                    stamp[d] = epoch
+                                    dirty.append(d)
                 else:
                     if ops is None:
                         view = views[aid]
@@ -1609,22 +2037,22 @@ class Simulator:
                                 stamp[d] = epoch
                                 dirty.append(d)
                 if has_observers:
-                    if now >= warmup:
-                        obs = impulse_by_act[aid]
-                        if obs is not None:
+                    w = act_watch[aid]
+                    if w is not None:
+                        obs, etr = w
+                        if obs is not None and now >= warmup:
                             for res, static, fn, ilo, ihi in obs:
                                 if ilo <= now <= ihi:
                                     res.impulse_sum += (
                                         static if fn is None else fn(gview)
                                     )
                                     res.count += 1
-                    etr = etrace_by_act[aid]
-                    if etr is not None:
-                        path = act_paths[aid]
-                        for tr in etr:
-                            tr.record(now, path, gview)
+                        if etr is not None:
+                            path = act_paths[aid]
+                            for tr in etr:
+                                tr.record(now, path, gview)
                 dirty.sort()
-                vector.tracking = True
+                tracking_on = False
                 for aid2 in dirty:
                     if declared[aid2]:
                         ms = memo_slot[aid2]
@@ -1637,6 +2065,13 @@ class Simulator:
                                 en = preds[aid2](pviews[aid2])
                                 mdict[values[ms]] = en
                     else:
+                        # The tracking toggle is set lazily on the first
+                        # undeclared activity: a fully declared dirty set
+                        # (the common case on annotated models) never
+                        # pays the attribute stores.
+                        if not tracking_on:
+                            vector.tracking = True
+                            tracking_on = True
                         if reads:
                             reads_clear()
                         en = preds[aid2](views[aid2])
@@ -1650,7 +2085,10 @@ class Simulator:
                     if not is_timed[aid2]:
                         if en != enabled_instant[aid2]:
                             enabled_instant[aid2] = en
-                            n_inst_enabled += 1 if en else -1
+                            if en:
+                                inst_enabled.add(aid2)
+                            else:
+                                inst_enabled.discard(aid2)
                         continue
                     tok2 = token[aid2]
                     if en:
@@ -1665,20 +2103,26 @@ class Simulator:
                         if sm is not None:
                             delay = sm(rng)
                         else:
-                            vector.tracking = False
+                            if tracking_on:
+                                vector.tracking = False
+                                tracking_on = False
                             delay = dyn_sample(aid2)
-                            vector.tracking = True
-                        if pending is None:
-                            pending = (now + delay, seq, aid2, tok2)
-                        else:
-                            heappush(heap, pending)
-                            pending = (now + delay, seq, aid2, tok2)
+                        ft = now + delay
+                        # beyond-horizon activations never enter the heap
+                        # (see update_timed: bit-identical trajectories)
+                        if ft <= until:
+                            if pending is None:
+                                pending = (ft, seq, aid2, tok2)
+                            else:
+                                heappush(heap, pending)
+                                pending = (ft, seq, aid2, tok2)
                         seq += 1
                     elif tok2 & 1:
                         token[aid2] = tok2 + 1
-                vector.tracking = False
+                if tracking_on:
+                    vector.tracking = False
                 dirty_clear()
-                if n_inst_enabled:
+                if inst_enabled:
                     # Rare: an instantaneous activity became enabled.
                     # Run the zero-time fixpoint through the shared
                     # settle(): it fires highest-priority-first,
@@ -1689,10 +2133,15 @@ class Simulator:
                 if touched_r:
                     # Declared rewards refresh with a direct call (no
                     # tracked-discovery wrapper); value-identical to
-                    # eval_rate, which takes the same branch.
+                    # eval_rate, which takes the same branch.  The
+                    # float() coercion is skipped when the function
+                    # already returned a float (the overwhelming case).
                     for i in touched_r:
                         if rate_declared[i]:
-                            rate_values[i] = float(rate_fns[i](rate_views[i]))
+                            v = rate_fns[i](rate_views[i])
+                            rate_values[i] = (
+                                v if v.__class__ is float else float(v)
+                            )
                         else:
                             rate_values[i] = eval_rate(i)
                     del touched_r[:]
@@ -1763,6 +2212,32 @@ class Simulator:
                                 if stamp[d] != epoch:
                                     stamp[d] = epoch
                                     dirty.append(d)
+                elif has_case[aid]:
+                    # Compiled case/guard kernel (see the observed loop).
+                    cops = select_case_branch(aid)
+                    if cops is not None:
+                        n_case_kernels += 1
+                        for slot, is_add, amount, dl in cops:
+                            if is_add:
+                                v = values[slot] + amount
+                                if v < 0:
+                                    _kernel_negative(aid, slot, v)
+                                values[slot] = v
+                            elif values[slot] != amount:
+                                values[slot] = amount
+                            else:
+                                continue
+                            if dl:
+                                for d in dl:
+                                    if stamp[d] != epoch:
+                                        stamp[d] = epoch
+                                        dirty.append(d)
+                    else:
+                        while changed:
+                            for d in dep_lists[changed_pop()]:
+                                if stamp[d] != epoch:
+                                    stamp[d] = epoch
+                                    dirty.append(d)
                 else:
                     if ops is None:
                         view = views[aid]
@@ -1788,22 +2263,22 @@ class Simulator:
                                 stamp[d] = epoch
                                 dirty.append(d)
                 if has_observers:
-                    if now >= warmup:
-                        obs = impulse_by_act[aid]
-                        if obs is not None:
+                    w = act_watch[aid]
+                    if w is not None:
+                        obs, etr = w
+                        if obs is not None and now >= warmup:
                             for res, static, fn, ilo, ihi in obs:
                                 if ilo <= now <= ihi:
                                     res.impulse_sum += (
                                         static if fn is None else fn(gview)
                                     )
                                     res.count += 1
-                    etr = etrace_by_act[aid]
-                    if etr is not None:
-                        path = act_paths[aid]
-                        for tr in etr:
-                            tr.record(now, path, gview)
+                        if etr is not None:
+                            path = act_paths[aid]
+                            for tr in etr:
+                                tr.record(now, path, gview)
                 dirty.sort()
-                vector.tracking = True
+                tracking_on = False
                 for aid2 in dirty:
                     if declared[aid2]:
                         ms = memo_slot[aid2]
@@ -1816,6 +2291,10 @@ class Simulator:
                                 en = preds[aid2](pviews[aid2])
                                 mdict[values[ms]] = en
                     else:
+                        # lazy tracking toggle (see the observed loop)
+                        if not tracking_on:
+                            vector.tracking = True
+                            tracking_on = True
                         if reads:
                             reads_clear()
                         en = preds[aid2](views[aid2])
@@ -1839,22 +2318,29 @@ class Simulator:
                         if sm is not None:
                             delay = sm(rng)
                         else:
-                            vector.tracking = False
+                            if tracking_on:
+                                vector.tracking = False
+                                tracking_on = False
                             delay = dyn_sample(aid2)
-                            vector.tracking = True
-                        if pending is None:
-                            pending = (now + delay, seq, aid2, tok2)
-                        else:
-                            heappush(heap, pending)
-                            pending = (now + delay, seq, aid2, tok2)
+                        ft = now + delay
+                        # beyond-horizon activations never enter the heap
+                        # (see update_timed: bit-identical trajectories)
+                        if ft <= until:
+                            if pending is None:
+                                pending = (ft, seq, aid2, tok2)
+                            else:
+                                heappush(heap, pending)
+                                pending = (ft, seq, aid2, tok2)
                         seq += 1
                     elif tok2 & 1:
                         token[aid2] = tok2 + 1
-                vector.tracking = False
+                if tracking_on:
+                    vector.tracking = False
                 dirty_clear()
 
         self.last_kernel_effects = n_kernel_effects
-        self.last_python_effects = n_events - n_kernel_effects
+        self.last_case_kernels = n_case_kernels
+        self.last_python_effects = n_events - n_kernel_effects - n_case_kernels
         end_time = now if stopped_early else until
         integrate_to(end_time)
         for i in range(n_rates):

@@ -46,7 +46,12 @@ from typing import Callable, Mapping, Sequence
 
 from ..core.errors import SimulationError
 from ..core.experiment import ExperimentResult, replicate_runs
-from ..core.parallel import ReplicationSpec, pool_context, resolve_n_jobs
+from ..core.parallel import (
+    ReplicationSpec,
+    build_setup_cached,
+    pool_context,
+    resolve_n_jobs,
+)
 
 __all__ = [
     "SweepCell",
@@ -134,13 +139,19 @@ def _run_replication_cell(
 ) -> ExperimentResult:
     """Execute one replication-study cell (in whatever process hosts it).
 
-    The spec rebuilds the simulator/rewards/metrics; replication ``k``
+    The spec rebuilds the simulator/rewards/metrics — through the
+    per-process setup cache
+    (:func:`~repro.core.parallel.build_setup_cached`), so a worker that
+    already compiled this spec's program (an earlier cell of the same
+    study, or a pool that forked off it) reuses it instead of paying
+    model construction + table compilation again.  Replication ``k``
     draws from stream ``(base_seed, "run", k)`` exactly as a direct
-    serial :func:`~repro.core.experiment.replicate_runs` call would, so
-    the cell's samples are bit-identical however the cell is scheduled
-    (and for any inner ``n_jobs``).
+    serial :func:`~repro.core.experiment.replicate_runs` call would —
+    cache reuse resets the stream counter — so the cell's samples are
+    bit-identical however the cell is scheduled, wherever its setup was
+    built, and for any inner ``n_jobs``.
     """
-    setup = spec.build()
+    setup, _metrics = build_setup_cached(spec)
     return replicate_runs(
         setup.simulator,
         hours,

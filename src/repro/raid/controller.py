@@ -57,13 +57,29 @@ def build_failover_member_san(
         m["kill"] = 1
 
     p = float(propagation_probability)
+    # Declared case writes compile the propagation coin into a case
+    # kernel (one uniform, precomputed slot deltas per branch).
     san.timed(
         "fail",
         failure,
         enabled=lambda m: m["up"] == 1,
         cases=[
-            Case(1.0 - p, fail_isolated, name="isolated"),
-            Case(p, fail_propagating, name="propagating"),
+            Case(
+                1.0 - p,
+                fail_isolated,
+                name="isolated",
+                writes=[("up", "set", 0), ("down_count", "add", 1)],
+            ),
+            Case(
+                p,
+                fail_propagating,
+                name="propagating",
+                writes=[
+                    ("up", "set", 0),
+                    ("down_count", "add", 1),
+                    ("kill", "set", 1),
+                ],
+            ),
         ],
     )
 

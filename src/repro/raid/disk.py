@@ -89,14 +89,31 @@ def build_disk_san(
     # the marking-dependent distribution callable ("fresh"), so the
     # compiled engine evaluates the fleet's hottest delay draws — one
     # equilibrium-residual or Weibull lifetime per disk — with read
-    # tracking skipped entirely.
+    # tracking skipped entirely.  The declared case writes compile the
+    # propagation coin into a case kernel: the fast loops pick a branch
+    # with the same single uniform and apply its slot deltas without
+    # entering the Python case functions.
     san.timed(
         "fail",
         fail_distribution,
         enabled=lambda m: m["up"] == 1,
         cases=[
-            Case(1.0 - p, fail_isolated, name="isolated"),
-            Case(p, fail_propagating, name="propagating"),
+            Case(
+                1.0 - p,
+                fail_isolated,
+                name="isolated",
+                writes=[("up", "set", 0), ("failed_count", "add", 1)],
+            ),
+            Case(
+                p,
+                fail_propagating,
+                name="propagating",
+                writes=[
+                    ("up", "set", 0),
+                    ("failed_count", "add", 1),
+                    ("disk_kill", "add", 1),
+                ],
+            ),
         ],
         reads=["up", "fresh"],
     )
@@ -116,8 +133,22 @@ def build_disk_san(
         "absorb_kill",
         enabled=lambda m: m["disk_kill"] > 0 and m["up"] == 1,
         cases=[
-            Case(1.0 - p, absorb_stop, name="stop"),
-            Case(p, absorb_chain, name="chain"),
+            Case(
+                1.0 - p,
+                absorb_stop,
+                name="stop",
+                writes=[
+                    ("up", "set", 0),
+                    ("failed_count", "add", 1),
+                    ("disk_kill", "add", -1),
+                ],
+            ),
+            Case(
+                p,
+                absorb_chain,
+                name="chain",
+                writes=[("up", "set", 0), ("failed_count", "add", 1)],
+            ),
         ],
         priority=8,
     )

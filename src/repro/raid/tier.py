@@ -42,7 +42,10 @@ def build_tier_control_san(config: RAIDConfig, name: str = "tierctl") -> SAN:
 
     def on_restore(m: LocalView, rng) -> None:
         # If replacements have not caught up, the tier stays down and the
-        # restore activity re-fires (it remains enabled).
+        # restore activity re-fires (it remains enabled).  The conditional
+        # is declared below as a guarded write (writes= + when=), so the
+        # compiled engine evaluates the guard and applies the slot deltas
+        # without calling this function.
         if m["failed_count"] <= config.fault_tolerance:
             m["tier_down"] = 0
             m["tiers_down"] -= 1
@@ -63,6 +66,8 @@ def build_tier_control_san(config: RAIDConfig, name: str = "tierctl") -> SAN:
         Deterministic(config.tier_restore_hours),
         enabled=lambda m: m["tier_down"] == 1,
         effect=on_restore,
+        writes=[("tier_down", "set", 0), ("tiers_down", "add", -1)],
+        when=("failed_count", "<=", config.fault_tolerance),
     )
     # A propagation token with no healthy disk left to strike evaporates
     # (otherwise it would linger and kill a disk replaced hours later).

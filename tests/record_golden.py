@@ -26,6 +26,12 @@ Two engine modes are pinned throughout:
   them exactly, which is the bit-compatibility guarantee;
 * the default batched mode — recorded when batching was introduced,
   pinning the default engine's determinism going forward.
+
+One intentional re-record on top of the original recordings: the
+``storage_measures`` entries of ``reward_golden.json`` were re-recorded
+in PR 5 when ``StorageModel`` adopted ``batch_dynamic=True`` (block
+serving its marking-dependent equilibrium draws changes default-mode
+stream consumption; per-draw entries were unaffected).
 """
 
 from __future__ import annotations

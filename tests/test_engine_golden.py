@@ -144,6 +144,13 @@ class TestRewardGolden:
     ``engine="auto"`` proves the specialized observed fast loop is
     bit-compatible with the historical observer path;
     ``engine="reference"`` proves the general loop stayed so too.
+
+    Intentional re-record (PR 5): the two ``storage_measures`` entries
+    were re-recorded when :class:`~repro.cfs.cluster.StorageModel`
+    adopted ``batch_dynamic=True`` (its dynamic equilibrium-residual
+    draws are now block-served, changing default-mode stream
+    consumption).  Every other entry — including all per-draw ones — is
+    byte-identical to the original recording.
     """
 
     @pytest.fixture(scope="class")

@@ -8,9 +8,11 @@ bug, so without these assertions it would regress performance quietly.
 This suite pins, for the ABE and petascale cluster models:
 
 * which event loop a measured run dispatches to (``Simulator.last_loop``),
-* the exact residue of activities *without* gate-write kernels
-  (``fastpath_report``) — grows only if an annotation is dropped,
-* the runtime kernel-vs-python completion counters,
+* that **every** activity carries a compiled kernel — gate-write or
+  case/guard — i.e. ``python_effect_activities`` is empty (since PR 5's
+  case kernels closed the last residue: the propagation coins and the
+  conditional tier restore),
+* the runtime kernel / case-kernel / python completion counters,
 * the sampling mode of every timed activity.
 
 CI runs this file on every push (see .github/workflows/ci.yml).
@@ -22,14 +24,13 @@ import pytest
 
 from repro.cfs import ClusterModel, abe_parameters, petascale_parameters
 
-#: Template-level activity names that legitimately keep Python gate
-#: functions: case-bearing completions (propagation coins) and the
-#: conditional tier-restore effect.  Anything beyond this set failing to
-#: compile a kernel is an unannotated gate.
-EXPECTED_PYTHON_RESIDUE = {
-    "fail",       # disk / fail-over member: probabilistic cases
+#: Template-level activity names expected on the case/guard-kernel path
+#: (probabilistic propagation coins + the guarded tier restore); every
+#: other activity must compile a plain gate-write kernel.
+EXPECTED_CASE_KERNELS = {
+    "fail",       # disk / fail-over member: propagation-coin cases
     "absorb_kill",  # propagated-fault absorption: probabilistic cases
-    "restore",    # tier restore: effect conditional on failed_count
+    "restore",    # tier restore: writes guarded by failed_count
 }
 
 
@@ -46,18 +47,24 @@ def cluster(request):
 
 
 class TestCompiledCoverage:
-    def test_python_effect_residue_is_exactly_the_known_set(self, cluster):
+    def test_zero_python_effect_activities(self, cluster):
+        """Every completion in the paper models is compiled: gate-write
+        kernels for the unconditional effects, case/guard kernels for
+        the propagation coins and the conditional tier restore."""
         report = cluster.simulator.fastpath_report()
-        residue = _residue_names(report)
-        assert residue == EXPECTED_PYTHON_RESIDUE, (
-            "activities fell off the gate-write kernel path: "
-            f"{sorted(residue - EXPECTED_PYTHON_RESIDUE)}"
+        assert report["python_effect_activities"] == [], (
+            "activities fell off the compiled kernel paths: "
+            f"{sorted(_residue_names(report))}"
         )
-        # every repair/bookkeeping completion in the model has a kernel
-        # (the runtime majority check lives in
-        # test_measured_run_uses_observed_fast_loop: events, not
-        # activity counts, decide what is hot)
         assert len(report["kernel_activities"]) > 0
+        case_names = {
+            path.rsplit("/", 1)[-1]
+            for path in report["case_kernel_activities"]
+        }
+        assert case_names == EXPECTED_CASE_KERNELS, (
+            "unexpected case-kernel set: "
+            f"{sorted(case_names ^ EXPECTED_CASE_KERNELS)}"
+        )
 
     def test_every_timed_draw_is_served_fast(self, cluster):
         """No static law may fall back to scalar per-draw sampling."""
@@ -77,9 +84,28 @@ class TestCompiledCoverage:
         sim = cluster.simulator
         res = sim.run(700.0, rewards=cluster.measures.rewards)
         assert sim.last_loop == "observed"
-        assert sim.last_kernel_effects + sim.last_python_effects == res.n_events
-        # kernels carry the bulk of completions on the paper workloads
-        assert sim.last_kernel_effects > sim.last_python_effects
+        assert (
+            sim.last_kernel_effects
+            + sim.last_case_kernels
+            + sim.last_python_effects
+            == res.n_events
+        )
+        # kernels carry the bulk of completions on the paper workloads;
+        # the only python effects left are one-shot verification firings
+        # (per activity instance / case branch, persistent across runs)
+        first_python = sim.last_python_effects
+        assert sim.last_kernel_effects > first_python
+        # on the warm program, only first-ever completions still verify:
+        # the python-effect count burns down run over run instead of
+        # repaying the full verification cost
+        res2 = sim.run(700.0, rewards=cluster.measures.rewards)
+        assert sim.last_python_effects < first_python
+        assert (
+            sim.last_kernel_effects
+            + sim.last_case_kernels
+            + sim.last_python_effects
+            == res2.n_events
+        )
 
     def test_reference_engine_is_opt_in_only(self, cluster):
         assert cluster.simulator.engine == "auto"
