@@ -49,9 +49,29 @@ def build_parser() -> argparse.ArgumentParser:
             "results are identical for any value",
         )
 
+    def add_checkpoint(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checkpoint-dir",
+            "--resume",
+            dest="checkpoint_dir",
+            default=None,
+            metavar="DIR",
+            help="journal each completed sweep cell into DIR; rerunning "
+            "with the same DIR resumes, re-executing only unfinished "
+            "cells (results are bit-identical to an uninterrupted run)",
+        )
+
     p_tables = sub.add_parser("tables", help="regenerate Tables 1-5")
     p_tables.add_argument("--seed", type=int, default=2013)
+    p_tables.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default="raise",
+        help="'raise' aborts on the first failed cell; 'collect' prints "
+        "every healthy table plus a failure report (exit code 1)",
+    )
     add_jobs(p_tables)
+    add_checkpoint(p_tables)
 
     p_figures = sub.add_parser("figures", help="regenerate Figures 2-4")
     p_figures.add_argument("--full", action="store_true", help="paper fidelity")
@@ -61,11 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--full", action="store_true")
     p_all.add_argument("--seed", type=int, default=2013)
     add_jobs(p_all)
+    add_checkpoint(p_all)
 
     p_cal = sub.add_parser("calibrate", help="print the Figure 4 anchors")
     p_cal.add_argument("--replications", type=int, default=8)
     p_cal.add_argument("--hours", type=float, default=8760.0)
     add_jobs(p_cal)
+    add_checkpoint(p_cal)
 
     p_sim = sub.add_parser("simulate", help="simulate a preset")
     p_sim.add_argument("preset", choices=["abe", "petascale", "petascale-spare"])
@@ -97,12 +119,22 @@ def _cmd_tables(args: argparse.Namespace) -> int:
         table4_cell(),
         table5_cell(),
     ]
+    from .experiments import format_cell_failures
     from .loggen.abe import warm_logs_cache_for_pool
 
     warm_logs_cache_for_pool(args.seed, args.jobs)
-    results = run_sweep(cells, n_jobs=args.jobs)
-    print("\n\n".join(r.format() for r in results.values()))
-    return 0
+    results = run_sweep(
+        cells,
+        n_jobs=args.jobs,
+        on_error=args.on_error,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    failures = results.failures
+    sections = [results[key].format() for key in results if key not in failures]
+    if failures:
+        sections.append(format_cell_failures(failures))
+    print("\n\n".join(sections))
+    return 1 if failures else 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -133,7 +165,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
-    print(run_all(full=args.full, seed=args.seed, n_jobs=args.jobs))
+    print(
+        run_all(
+            full=args.full,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    )
     return 0
 
 
@@ -163,7 +202,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         )
         for label, params in presets
     ]
-    results = run_sweep(cells, n_jobs=jobs)
+    results = run_sweep(cells, n_jobs=jobs, checkpoint_dir=args.checkpoint_dir)
     for label, _params in presets:
         est = results[label].estimate("cfs_availability")
         print(f"{label:<32} CFS availability {est}")
@@ -217,9 +256,18 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``Ctrl-C`` exits cleanly with the conventional code 130 (128 +
+    SIGINT) instead of a traceback; an interrupted checkpointed run
+    (``--checkpoint-dir``) keeps its journal and resumes on rerun.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -9,6 +9,9 @@ Public API:
   :class:`BinaryTrace`, :class:`EventTrace`
 * experiments: :func:`replicate_runs` (serial or ``n_jobs`` parallel),
   :class:`Estimate`, :class:`ReplicationSpec`
+* resilience: :class:`RetryPolicy`, :class:`ChaosPolicy`,
+  :func:`run_tasks_supervised` (worker-crash recovery, retry/backoff,
+  timeouts, fault injection)
 * exact solutions: :func:`explore` (state space → CTMC)
 """
 
@@ -43,6 +46,7 @@ from .distributions import (
 )
 from .errors import (
     AnalysisError,
+    ChaosError,
     CompositionError,
     FitError,
     InstantaneousLoopError,
@@ -50,13 +54,22 @@ from .errors import (
     ParameterError,
     ParseError,
     ReproError,
+    SimulationBudgetError,
     SimulationError,
     StateSpaceError,
+    TaskTimeoutError,
 )
 from .distributions import BatchedSampler
 from .experiment import Estimate, ExperimentResult, build_metrics, replicate_runs
 from .gates import Case, InputGate, OutputGate
 from .parallel import ReplicationSetup, ReplicationSpec, resolve_n_jobs
+from .resilience import (
+    CellFailure,
+    ChaosPolicy,
+    RetryPolicy,
+    TaskFailure,
+    run_tasks_supervised,
+)
 from .places import LocalView, MarkingVector, Place
 from .rewards import ImpulseReward, RateReward, RewardResult
 from .rng import SeedTree, derive_seed, make_generator
@@ -128,10 +141,18 @@ __all__ = [
     "ModelError",
     "CompositionError",
     "SimulationError",
+    "SimulationBudgetError",
     "InstantaneousLoopError",
+    "ChaosError",
+    "TaskTimeoutError",
     "StateSpaceError",
     "AnalysisError",
     "ParseError",
     "FitError",
     "ParameterError",
+    "RetryPolicy",
+    "ChaosPolicy",
+    "TaskFailure",
+    "CellFailure",
+    "run_tasks_supervised",
 ]

@@ -12,7 +12,10 @@ __all__ = [
     "ModelError",
     "CompositionError",
     "SimulationError",
+    "SimulationBudgetError",
     "InstantaneousLoopError",
+    "ChaosError",
+    "TaskTimeoutError",
     "StateSpaceError",
     "AnalysisError",
     "ParseError",
@@ -45,8 +48,68 @@ class SimulationError(ReproError):
 class InstantaneousLoopError(SimulationError):
     """Instantaneous activities re-enabled each other without reaching a fixpoint.
 
-    Raised after a configurable number of zero-time firings at one instant,
-    which indicates a modeling bug (a "vanishing loop" in SAN terms).
+    Raised after ``Simulator(max_instant_chain=...)`` zero-time firings at
+    one instant, which indicates a modeling bug (a "vanishing loop" in SAN
+    terms).  Raise the cap for models with legitimately deep zero-time
+    cascades.
+    """
+
+
+class SimulationBudgetError(SimulationError):
+    """A run exceeded its event or wall-clock budget.
+
+    Raised by :meth:`~repro.core.simulation.Simulator.run` when
+    ``Simulator(max_events=...)`` or ``Simulator(max_wall_s=...)`` is
+    exceeded, so a runaway model terminates diagnosably instead of
+    hanging.  Carries the partial trajectory state at termination:
+
+    Attributes
+    ----------
+    budget:
+        Which budget tripped — ``"max_events"`` or ``"max_wall_s"``.
+    limit:
+        The configured bound.
+    n_events:
+        Events executed before the budget tripped.
+    sim_time:
+        Simulated time reached.
+    marking:
+        ``place path -> value`` snapshot of the marking at termination.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: str = "max_events",
+        limit: float | int | None = None,
+        n_events: int = 0,
+        sim_time: float = 0.0,
+        marking: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.limit = limit
+        self.n_events = n_events
+        self.sim_time = sim_time
+        self.marking = {} if marking is None else marking
+
+
+class ChaosError(SimulationError):
+    """A fault injected by :class:`~repro.core.resilience.ChaosPolicy`.
+
+    Retryable by the default :class:`~repro.core.resilience.RetryPolicy`:
+    the fault-injection suites use it to prove that supervised execution
+    recovers to results bit-identical to an undisturbed run.
+    """
+
+
+class TaskTimeoutError(SimulationError):
+    """A supervised task exceeded its per-attempt wall-clock timeout.
+
+    Raised in the parent by the supervised executor
+    (:func:`~repro.core.resilience.run_tasks_supervised`) after it kills
+    the worker pool hosting the overdue task; retryable by default.
     """
 
 

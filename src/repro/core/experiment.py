@@ -193,6 +193,9 @@ def replicate_runs(
     on_result: Callable[[int, RunResult], None] | None = None,
     n_jobs: int | None = 1,
     spec: "ReplicationSpec | None" = None,
+    retry: "RetryPolicy | None" = None,
+    chaos: "ChaosPolicy | None" = None,
+    serial_fallback: bool = True,
 ) -> ExperimentResult:
     """Run independent replications and summarize metrics with CIs.
 
@@ -225,6 +228,16 @@ def replicate_runs(
         workers rebuild the model from a picklable recipe (required on
         platforms without the ``fork`` start method; it must describe the
         same study as ``simulator``/``rewards``).
+    retry / chaos / serial_fallback:
+        Supervision knobs for parallel execution (see
+        :mod:`repro.core.resilience` and
+        :func:`~repro.core.parallel.run_replications_parallel`): retry
+        policy with per-attempt timeouts, deterministic fault injection
+        (``None`` honors ``REPRO_CHAOS``), and graceful degradation to
+        serial execution when pools are unavailable.  Worker-crash
+        recovery re-executes only incomplete replications and is
+        bit-identical to an uninterrupted run.  Serial execution
+        (``n_jobs=1``) runs unsupervised.
     """
     if n_replications < 1:
         raise SimulationError(f"n_replications must be >= 1, got {n_replications}")
@@ -257,6 +270,9 @@ def replicate_runs(
             n_jobs=jobs,
             spec=spec,
             setup=setup,
+            retry=retry,
+            chaos=chaos,
+            serial_fallback=serial_fallback,
         )
         # Keep the local counter in step so a later serial call continues
         # exactly where a serial-only sequence would have.

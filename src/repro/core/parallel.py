@@ -46,12 +46,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 from .errors import SimulationError
+from .resilience import ChaosPolicy, RetryPolicy, run_tasks_supervised
 from .rng import make_generator
 
 __all__ = [
@@ -236,6 +237,19 @@ def _run_one(task: tuple) -> tuple[int, dict[str, float]]:
     return k, {name: float(fn(result)) for name, fn in metrics.items()}
 
 
+def _run_chunk(payload: tuple) -> list[tuple[int, dict[str, float]]]:
+    """Execute one contiguous chunk of replications in this worker.
+
+    A chunk is the supervised unit of work: the RNG stream of each
+    replication is derived positionally from its index ``k``, never from
+    execution history, so a chunk rerun after a worker crash — in a
+    rebuilt pool or serially in the parent — reproduces exactly the
+    samples the uninterrupted run would have produced.
+    """
+    base_seed, until, warmup, ks = payload
+    return [_run_one((base_seed, until, warmup, k)) for k in ks]
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
@@ -246,14 +260,43 @@ def _fork_context():
         return None
 
 
+_FALLBACK_WARNED = False
+
+
+def _warn_no_fork(default_method: str) -> None:
+    """Once per process: the silent fork->default fallback is now loud."""
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        "the 'fork' start method is unavailable on this platform; worker "
+        f"pools use the {default_method!r} start method instead.  Workers "
+        "therefore rebuild their model from the pickled spec (no "
+        "copy-on-write inheritance of the parent's compiled program or of "
+        "in-process caches), and inherit-mode replicate_runs — which "
+        "requires fork to hand closures to workers — degrades to serial "
+        "in-process execution.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def pool_context():
     """Multiprocessing context for worker pools over picklable tasks.
 
     Prefers the ``fork`` start method for cheap start-up and falls back
-    to the platform default.  Used by spec-mode replication pools and by
-    the sweep-cell scheduler (:mod:`repro.experiments.sweep`).
+    to the platform default — with a once-per-process
+    :class:`RuntimeWarning` naming the active start method and its
+    consequences (no copy-on-write program inheritance; inherit mode
+    degrades to serial).  Used by spec-mode replication pools and by the
+    sweep-cell scheduler (:mod:`repro.experiments.sweep`).
     """
-    return _fork_context() or multiprocessing.get_context()
+    ctx = _fork_context()
+    if ctx is None:
+        ctx = multiprocessing.get_context()
+        _warn_no_fork(ctx.get_start_method())
+    return ctx
 
 
 def run_replications_parallel(
@@ -266,6 +309,9 @@ def run_replications_parallel(
     n_jobs: int,
     spec: ReplicationSpec | None = None,
     setup: ReplicationSetup | None = None,
+    retry: RetryPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
+    serial_fallback: bool = True,
 ) -> dict[str, list[float]]:
     """Run replications ``counter_base .. counter_base + n - 1`` in a pool.
 
@@ -278,6 +324,17 @@ def run_replications_parallel(
     per-process cache, skipping model construction + compilation
     entirely (the caller vouches that ``setup`` realizes ``spec``, the
     same contract as ``replicate_runs(spec=...)``).
+
+    Execution is supervised (:mod:`repro.core.resilience`): replications
+    are submitted as contiguous chunks; a chunk whose worker crashes or
+    times out is retried per ``retry`` (default :class:`RetryPolicy`) in
+    a rebuilt pool, and completed chunks are never re-executed.  Because
+    replication ``k`` always draws from seed-tree stream ``k``, recovery
+    is bit-identical to an uninterrupted run.  ``chaos`` injects
+    deterministic faults for testing (``None`` = honor ``REPRO_CHAOS``).
+    With ``serial_fallback`` (default), inherit mode on a platform
+    without ``fork`` degrades to in-process serial execution with a
+    :class:`RuntimeWarning` instead of raising.
     """
     if spec is None and setup is None:
         raise SimulationError("pass spec=, setup=, or both")
@@ -293,35 +350,47 @@ def run_replications_parallel(
         setup = None  # _WORKER_SETUP stays untouched in spec mode
     else:
         ctx = _fork_context()
-        if ctx is None:
-            raise SimulationError(
-                "parallel replications without a ReplicationSpec require "
-                "the 'fork' start method (model objects hold closures "
-                "that cannot be pickled); build a ReplicationSpec with a "
-                "module-level factory instead"
-            )
         init_arg = None
+        if ctx is None:
+            if not serial_fallback:
+                raise SimulationError(
+                    "parallel replications without a ReplicationSpec "
+                    "require the 'fork' start method (model objects hold "
+                    "closures that cannot be pickled); build a "
+                    "ReplicationSpec with a module-level factory, or "
+                    "leave serial_fallback=True to degrade to in-process "
+                    "serial execution"
+                )
+            _warn_no_fork(multiprocessing.get_context().get_start_method())
+            n_jobs = 1  # run_tasks_supervised executes serially in-process
 
     global _WORKER_SETUP
     if setup is not None:
-        _WORKER_SETUP = setup  # inherited by forked workers
+        _WORKER_SETUP = setup  # inherited by forked workers (or read serially)
 
     n_jobs = min(n_jobs, n_replications)
     ks = range(counter_base, counter_base + n_replications)
+    # Same batching arithmetic the historical pool.map(chunksize=...) used:
+    # ~4 chunks per worker, so a grid mixing fast and slow replications
+    # load-balances while per-task dispatch overhead stays amortized.
+    chunk = max(1, n_replications // (max(n_jobs, 1) * 4))
+    chunks = [tuple(ks[i : i + chunk]) for i in range(0, len(ks), chunk)]
+    tasks = [
+        (("reps", c[0], c[-1]), (base_seed, until, warmup, c)) for c in chunks
+    ]
     try:
-        with ProcessPoolExecutor(
-            max_workers=n_jobs,
+        outcomes = run_tasks_supervised(
+            tasks,
+            _run_chunk,
+            n_jobs=n_jobs,
             mp_context=ctx,
             initializer=_init_worker,
             initargs=(init_arg,),
-        ) as pool:
-            results = list(
-                pool.map(
-                    _run_one,
-                    [(base_seed, until, warmup, k) for k in ks],
-                    chunksize=max(1, n_replications // (n_jobs * 4)),
-                )
-            )
+            retry=retry,
+            chaos=chaos,
+            on_error="raise",
+            label="replication chunk",
+        )
     finally:
         _WORKER_SETUP = None
         if seeded_key is not None:
@@ -329,6 +398,7 @@ def run_replications_parallel(
             # not let later same-process cache hits reset its streams.
             _SETUP_CACHE.pop(seeded_key, None)
 
+    results = [item for key, _payload in tasks for item in outcomes[key]]
     results.sort(key=lambda item: item[0])
     samples: dict[str, list[float]] = {}
     for k, metric_values in results:

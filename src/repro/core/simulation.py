@@ -117,6 +117,7 @@ from __future__ import annotations
 
 import heapq
 import operator
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -129,7 +130,7 @@ from .distributions import (
     Distribution,
     Exponential,
 )
-from .errors import InstantaneousLoopError, SimulationError
+from .errors import InstantaneousLoopError, SimulationBudgetError, SimulationError
 from .gates import _noop
 from .places import FrozenView, LocalView
 from .rewards import ImpulseReward, RateReward, RewardResult
@@ -797,7 +798,23 @@ class Simulator:
         explicit seed) uses an independent stream derived from it.
     max_instant_chain:
         Fixpoint guard: maximum zero-time firings at a single instant before
-        :class:`~repro.core.errors.InstantaneousLoopError` is raised.
+        :class:`~repro.core.errors.InstantaneousLoopError` is raised
+        (default 100 000).  Raise it for models with legitimately deep
+        zero-time cascades; lower it to make a suspected vanishing loop
+        fail fast.
+    max_events:
+        Run budget: maximum events per :meth:`run` before
+        :class:`~repro.core.errors.SimulationBudgetError` is raised
+        (``None`` = unlimited).  The error carries the partial trajectory
+        state (events executed, simulated time, marking snapshot), so a
+        runaway model is diagnosable instead of a hang.
+    max_wall_s:
+        Run budget: wall-clock seconds per :meth:`run`, enforced at event
+        granularity, raising the same
+        :class:`~repro.core.errors.SimulationBudgetError` (``None`` =
+        unlimited).  Budgeted runs execute on the observed event loop;
+        with both budgets ``None`` (the default) the event loops carry no
+        budget checks at all.
     sample_batch:
         Block size for vectorized delay draws (default
         :data:`DEFAULT_SAMPLE_BATCH`); one block per distinct distribution
@@ -843,6 +860,8 @@ class Simulator:
         batch_dynamic: bool = _UNSET,
         engine: str = "auto",
         program: CompiledProgram | None = None,
+        max_events: int | None = None,
+        max_wall_s: float | None = None,
     ) -> None:
         if isinstance(model, CompiledProgram):
             if program is not None and program is not model:
@@ -883,6 +902,16 @@ class Simulator:
         self.model = model
         self.base_seed = int(base_seed)
         self.max_instant_chain = int(max_instant_chain)
+        if max_events is not None and int(max_events) < 1:
+            raise SimulationError(
+                f"max_events must be >= 1 or None, got {max_events}"
+            )
+        if max_wall_s is not None and not max_wall_s > 0.0:
+            raise SimulationError(
+                f"max_wall_s must be positive or None, got {max_wall_s}"
+            )
+        self.max_events = None if max_events is None else int(max_events)
+        self.max_wall_s = None if max_wall_s is None else float(max_wall_s)
         if engine not in ("auto", "reference"):
             raise SimulationError(
                 f"engine must be 'auto' or 'reference', got {engine!r}"
@@ -1787,7 +1816,34 @@ class Simulator:
         dirty: list[int] = []
         has_stop = stop_predicate is not None
         has_probes = n_probes > 0
-        observed = has_instants or has_watch or has_stop or has_probes
+        # Run budgets force the observed loop so the plain loop never pays
+        # for them: with budgets disabled (the default) the hot path is
+        # byte-for-byte the pre-budget code.
+        budget_events = self.max_events
+        budget_wall = self.max_wall_s
+        has_budget = budget_events is not None or budget_wall is not None
+        monotonic = time.monotonic
+        wall_deadline = (
+            monotonic() + budget_wall if budget_wall is not None else None
+        )
+
+        def raise_budget(kind: str, limit: float | int) -> None:
+            # Snapshot the partial trajectory so callers can diagnose the
+            # runaway model (marking, events, simulated time reached).
+            raise SimulationBudgetError(
+                f"simulation exceeded {kind}={limit!r} after {n_events} "
+                f"events at t={now:.6g} (until={until:g})",
+                budget=kind,
+                limit=limit,
+                n_events=n_events,
+                sim_time=now,
+                marking={
+                    path: values[slot]
+                    for path, slot in self.model.paths.items()
+                },
+            )
+
+        observed = has_instants or has_watch or has_stop or has_probes or has_budget
         self.last_loop = (
             "reference"
             if self.engine == "reference"
@@ -1803,6 +1859,11 @@ class Simulator:
                     continue
                 if ftime > until:
                     break
+                if has_budget:
+                    if budget_events is not None and n_events >= budget_events:
+                        raise_budget("max_events", budget_events)
+                    if wall_deadline is not None and monotonic() >= wall_deadline:
+                        raise_budget("max_wall_s", budget_wall)
                 while probe_pos < n_probes and probe_list[probe_pos][0] <= ftime:
                     pt, pi = probe_list[probe_pos]
                     rate_results[pi].instants.append((pt, rate_values[pi]))
@@ -1881,6 +1942,11 @@ class Simulator:
                     continue
                 if ftime > until:
                     break
+                if has_budget:
+                    if budget_events is not None and n_events >= budget_events:
+                        raise_budget("max_events", budget_events)
+                    if wall_deadline is not None and monotonic() >= wall_deadline:
+                        raise_budget("max_wall_s", budget_wall)
                 if probe_pos < n_probes:
                     while probe_pos < n_probes and probe_list[probe_pos][0] <= ftime:
                         pt, pi = probe_list[probe_pos]

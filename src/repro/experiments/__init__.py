@@ -22,8 +22,14 @@ from .figure3 import (
     run_figure3,
 )
 from .figure4 import _assemble_figure4, figure4_cells, run_figure4
-from .runner import FigureResult, Series, SeriesPoint, TableResult
-from .sweep import SweepCell, SweepResult, replication_cell, run_sweep
+from .runner import (
+    FigureResult,
+    Series,
+    SeriesPoint,
+    TableResult,
+    format_cell_failures,
+)
+from .sweep import SweepCell, SweepResult, cell_digest, replication_cell, run_sweep
 from .table1 import Table1Result, run_table1, table1_cell
 from .table2 import Table2Result, run_table2, table2_cell
 from .table3 import Table3Result, run_table3, table3_cell
@@ -43,6 +49,8 @@ __all__ = [
     "run_sweep",
     "SweepCell",
     "SweepResult",
+    "cell_digest",
+    "format_cell_failures",
     "replication_cell",
     "figure2_cells",
     "figure3_cells",
@@ -69,7 +77,10 @@ __all__ = [
 
 
 def run_all(
-    full: bool = False, seed: int = 2013, n_jobs: int | None = 1
+    full: bool = False,
+    seed: int = 2013,
+    n_jobs: int | None = 1,
+    checkpoint_dir: str | None = None,
 ) -> str:
     """Regenerate every table and figure; returns the formatted report.
 
@@ -77,7 +88,11 @@ def run_all(
     minute; ``full=True`` uses the paper-fidelity settings (several
     minutes).  All cells — tables and every figure sweep point — form
     one grid scheduled across ``n_jobs`` worker processes (-1 = all
-    cores) without changing any number.
+    cores) without changing any number.  ``checkpoint_dir`` journals
+    each completed cell so a killed run resumes where it stopped
+    (``python -m repro all --checkpoint-dir DIR``, rerun with
+    ``--resume DIR``); the resumed report is bit-identical to an
+    uninterrupted one.
     """
     from ..cfs.parameters import abe_parameters
     from ..loggen.abe import warm_logs_cache_for_pool
@@ -106,7 +121,7 @@ def run_all(
     )
 
     warm_logs_cache_for_pool(seed, n_jobs)
-    results = run_sweep(cells, n_jobs=n_jobs)
+    results = run_sweep(cells, n_jobs=n_jobs, checkpoint_dir=checkpoint_dir)
 
     fig2 = _assemble_figure2(results, DEFAULT_CONFIGS, n_steps, base)
     fig3 = _assemble_figure3(results, DEFAULT_AFRS, n_steps, shape, base)

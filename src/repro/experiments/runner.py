@@ -7,11 +7,34 @@ structures; ``format()`` renders the same rows/series the paper prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..core.experiment import Estimate
 
-__all__ = ["TableResult", "SeriesPoint", "Series", "FigureResult"]
+__all__ = [
+    "TableResult",
+    "SeriesPoint",
+    "Series",
+    "FigureResult",
+    "format_cell_failures",
+]
+
+
+def format_cell_failures(failures: Mapping) -> str:
+    """Render a partial sweep's failure records as a report section.
+
+    ``failures`` is ``SweepResult.failures`` — ``key ->``
+    :class:`~repro.core.resilience.CellFailure` — from a
+    ``run_sweep(..., on_error="collect")`` grid.  One line per failed
+    cell: key, attempts consumed, and the final causal error.
+    """
+    lines = [f"FAILED CELLS ({len(failures)})"]
+    for key, failure in failures.items():
+        lines.append(
+            f"  {key!r}: {failure.error_type} after "
+            f"{failure.attempts} attempt(s): {failure.message}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -9,9 +9,12 @@ regeneration lives (a Figure 2 run is 50 cells of 8 replications each).
 
 A :class:`SweepCell` names a module-level function plus picklable
 arguments; :func:`run_sweep` executes the cells of a grid either
-serially (in grid order) or across a shared
-:class:`~concurrent.futures.ProcessPoolExecutor`.  The determinism
-contract mirrors :mod:`repro.core.parallel`:
+serially (in grid order) or across a supervised worker pool
+(:func:`~repro.core.resilience.run_tasks_supervised`: per-cell
+retry/backoff, worker-crash recovery, timeout watchdog, optional
+``on_error="collect"`` partial results and a ``checkpoint_dir``
+journal for resume-after-kill).  The determinism contract mirrors
+:mod:`repro.core.parallel`:
 
 * a cell function must be a **pure function of its arguments** — any
   randomness must come from seeds passed in the arguments (the
@@ -40,8 +43,11 @@ single pool of ~60 cells.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from ..core.errors import SimulationError
@@ -52,10 +58,17 @@ from ..core.parallel import (
     pool_context,
     resolve_n_jobs,
 )
+from ..core.resilience import (
+    CellFailure,
+    ChaosPolicy,
+    RetryPolicy,
+    run_tasks_supervised,
+)
 
 __all__ = [
     "SweepCell",
     "SweepResult",
+    "cell_digest",
     "replication_cell",
     "run_sweep",
 ]
@@ -118,15 +131,47 @@ class SweepResult(dict):
     Plain mapping semantics (indexing, iteration, ``values()`` — all in
     grid order, since insertion order is grid order) with a lookup error
     that names the available cells.
+
+    Under ``run_sweep(..., on_error="collect")`` a failed cell is stored
+    as a :class:`~repro.core.resilience.CellFailure` record instead of a
+    result.  Indexing a failed cell raises a
+    :class:`~repro.core.errors.SimulationError` naming the underlying
+    error (so assembly code cannot silently treat a failure record as
+    data); iteration and ``values()`` expose the records as stored.  Use
+    :attr:`failures` / :attr:`completed` to split a partial sweep.
     """
 
     def __getitem__(self, key: object) -> object:
         try:
-            return super().__getitem__(key)
+            value = super().__getitem__(key)
         except KeyError:
             raise KeyError(
                 f"no sweep cell {key!r}; available: {list(self)}"
             ) from None
+        if isinstance(value, CellFailure):
+            raise SimulationError(
+                f"sweep cell {key!r} failed after {value.attempts} "
+                f"attempt(s): {value.error_type}: {value.message}"
+            )
+        return value
+
+    @property
+    def failures(self) -> dict:
+        """``key -> CellFailure`` for every cell that exhausted retries."""
+        return {
+            k: v
+            for k, v in self.items()
+            if isinstance(v, CellFailure)
+        }
+
+    @property
+    def completed(self) -> dict:
+        """``key -> result`` for every cell that produced a result."""
+        return {
+            k: v
+            for k, v in self.items()
+            if not isinstance(v, CellFailure)
+        }
 
 
 def _run_replication_cell(
@@ -200,9 +245,75 @@ def replication_cell(
     )
 
 
-def _execute_indexed(task: tuple[int, SweepCell]) -> tuple[int, object]:
-    index, cell = task
-    return index, cell.execute()
+def _execute_cell(cell: SweepCell) -> object:
+    """Supervised worker entry: run one cell in whatever process hosts it."""
+    return cell.execute()
+
+
+def cell_digest(cell: SweepCell) -> str:
+    """Content digest identifying a cell's *result*, for checkpointing.
+
+    Hashes the key, the cell function's qualified name and the seeded
+    arguments — everything the result depends on — but **excludes** the
+    ``inner_jobs_arg`` keyword: a cell's result is independent of its
+    within-cell worker split by contract, so a grid checkpointed under
+    ``--jobs 8`` resumes cleanly under ``--jobs 1`` (and vice versa).
+    Argument identity goes through :mod:`pickle` (functions hash by
+    qualified name, not by object address), so equal cells built by
+    separate processes produce equal digests.
+    """
+    kwargs = dict(cell.kwargs)
+    kwargs.pop(cell.inner_jobs_arg, None)
+    fn = cell.fn
+    payload = pickle.dumps(
+        (
+            "sweep-cell-v1",
+            cell.key,
+            f"{fn.__module__}.{getattr(fn, '__qualname__', fn.__name__)}",
+            cell.args,
+            sorted(kwargs.items()),
+        )
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+class _CheckpointJournal:
+    """Per-cell result journal backing ``run_sweep(checkpoint_dir=...)``.
+
+    One pickle file per completed cell, named by :func:`cell_digest`.
+    Writes are atomic (temp file + :func:`os.replace`), so a run killed
+    mid-write never leaves a truncated entry — at worst the cell is
+    absent and re-executes on resume, which is bit-identical by the
+    pure-cell contract.  Failed cells are never journaled: a resumed run
+    retries them.
+    """
+
+    _MISS = object()
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, cell: SweepCell) -> Path:
+        return self.directory / f"{cell_digest(cell)}.pkl"
+
+    def load(self, cell: SweepCell) -> object:
+        """The journaled result, or ``_MISS`` when absent/unreadable."""
+        try:
+            with open(self._path(cell), "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return self._MISS
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError):
+            # Unreadable entry (corrupt file, stale class): recompute.
+            return self._MISS
+
+    def store(self, cell: SweepCell, result: object) -> None:
+        path = self._path(cell)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, path)
 
 
 def run_sweep(
@@ -210,6 +321,10 @@ def run_sweep(
     *,
     n_jobs: int | None = 1,
     nested: bool = True,
+    on_error: str = "raise",
+    retry: RetryPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
 ) -> SweepResult:
     """Execute a grid of independent cells, serially or across processes.
 
@@ -222,9 +337,9 @@ def run_sweep(
         Worker processes scheduling whole cells (1 = serial in grid
         order, -1 = all cores).  Because every cell is a pure function
         of its seeded arguments, results are bit-identical for any
-        value; only wall-clock changes.  Cells are dispatched one at a
-        time (``chunksize=1``) so a grid mixing cheap ABE points with
-        expensive petascale points load-balances dynamically.
+        value; only wall-clock changes.  Cells are dispatched one future
+        at a time so a grid mixing cheap ABE points with expensive
+        petascale points load-balances dynamically.
     nested:
         Nested parallelism policy for hosts with more workers than
         cells: when ``n_jobs`` exceeds the grid size, the surplus is
@@ -237,6 +352,41 @@ def run_sweep(
         execution for any (outer, inner) division**
         (``tests/test_sweep.py``).  Pass ``nested=False`` to keep the
         historical cap of one worker per cell.
+    on_error:
+        ``"raise"`` (default) — the first cell that exhausts its retries
+        aborts the sweep with a chained
+        :class:`~repro.core.errors.SimulationError`.  ``"collect"`` —
+        failed cells become :class:`~repro.core.resilience.CellFailure`
+        records inside the returned :class:`SweepResult` while every
+        healthy cell still completes (partial-result semantics for long
+        overnight grids).
+    retry:
+        Per-cell :class:`~repro.core.resilience.RetryPolicy` (bounded
+        retries, exponential backoff with deterministic jitter, optional
+        per-attempt ``timeout_s``).  Default: 3 attempts.  Retried and
+        crash-resubmitted cells reproduce the undisturbed result exactly
+        (cells are pure functions of their seeded arguments).
+    chaos:
+        Deterministic fault injection
+        (:class:`~repro.core.resilience.ChaosPolicy`) for the
+        fault-injection suites; ``None`` honors the process-wide
+        ``REPRO_CHAOS`` environment policy.
+    checkpoint_dir:
+        Directory for the per-cell checkpoint journal.  As each cell
+        completes, its result is journaled (atomically) under a content
+        digest of the cell; a later ``run_sweep`` over the same grid and
+        the same directory loads journaled cells instead of re-executing
+        them — resume-after-kill for whole-figure regenerations (CLI:
+        ``--checkpoint-dir`` / ``--resume``).  The digest excludes the
+        within-cell worker split, so a grid may resume under a different
+        ``n_jobs``.
+
+    Execution is supervised (:mod:`repro.core.resilience`) for every
+    ``n_jobs``: a worker crash (``BrokenProcessPool``) rebuilds the pool
+    and resubmits only the unfinished cells; pool-creation failure
+    degrades to serial in-process execution with a ``RuntimeWarning``.
+    Results — full or resumed, serial or pooled, crashed-and-recovered
+    or undisturbed — are bit-identical by the pure-cell contract.
     """
     cells = list(cells)
     keys = [c.key for c in cells]
@@ -249,15 +399,45 @@ def run_sweep(
         inner = jobs // len(cells)
         if inner > 1:
             cells = [c.with_inner_jobs(inner) for c in cells]
-    if jobs <= 1 or len(cells) <= 1:
-        # Serial grid order; a lone divisible cell still uses its inner
-        # workers (the only parallelism available to a 1-cell grid).
-        return SweepResult((c.key, c.execute()) for c in cells)
 
-    jobs = min(jobs, len(cells))
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=pool_context()) as pool:
-        indexed = pool.map(_execute_indexed, enumerate(cells), chunksize=1)
-        by_index = dict(indexed)
-    # pool.map preserves submission order, but rebuild by index anyway so
-    # grid order never depends on executor iteration semantics.
-    return SweepResult((cells[i].key, by_index[i]) for i in range(len(cells)))
+    journal = (
+        _CheckpointJournal(checkpoint_dir) if checkpoint_dir is not None else None
+    )
+    done: dict[object, object] = {}
+    todo = cells
+    if journal is not None:
+        todo = []
+        for cell in cells:
+            hit = journal.load(cell)
+            if hit is _CheckpointJournal._MISS:
+                todo.append(cell)
+            else:
+                done[cell.key] = hit
+
+    outcomes: dict[object, object] = {}
+    if todo:
+        by_key = {c.key: c for c in todo}
+        on_complete = (
+            (lambda key, result: journal.store(by_key[key], result))
+            if journal is not None
+            else None
+        )
+        pooled = jobs > 1 and len(todo) > 1
+        outcomes = run_tasks_supervised(
+            [(c.key, c) for c in todo],
+            _execute_cell,
+            n_jobs=min(jobs, len(todo)),
+            # Serial grids never build a pool; don't probe start methods
+            # (and possibly warn about fork) on their behalf.
+            mp_context=pool_context() if pooled else None,
+            retry=retry,
+            chaos=chaos,
+            on_error=on_error,
+            on_complete=on_complete,
+            failure_cls=CellFailure,
+            label="sweep cell",
+        )
+
+    return SweepResult(
+        (c.key, done[c.key] if c.key in done else outcomes[c.key]) for c in cells
+    )

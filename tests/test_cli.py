@@ -57,3 +57,46 @@ class TestCommands:
         out = capsys.readouterr().out
         for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5"):
             assert marker in out
+
+
+class TestResilienceFlags:
+    def test_checkpoint_and_resume_are_aliases(self):
+        parser = build_parser()
+        a = parser.parse_args(["tables", "--checkpoint-dir", "/tmp/ck"])
+        b = parser.parse_args(["tables", "--resume", "/tmp/ck"])
+        assert a.checkpoint_dir == b.checkpoint_dir == "/tmp/ck"
+        assert parser.parse_args(["all"]).checkpoint_dir is None
+        assert (
+            parser.parse_args(["calibrate", "--resume", "x"]).checkpoint_dir == "x"
+        )
+
+    def test_on_error_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["tables"]).on_error == "raise"
+        assert (
+            parser.parse_args(["tables", "--on-error", "collect"]).on_error
+            == "collect"
+        )
+        with pytest.raises(SystemExit):
+            parser.parse_args(["tables", "--on-error", "explode"])
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        from repro import cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "tables", boom)
+        assert main(["tables"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_tables_checkpoint_resume_smoke(self, tmp_path, capsys):
+        """A checkpointed tables run journals its cells; the rerun loads
+        them (same output) instead of recomputing."""
+        ckpt = tmp_path / "ck"
+        assert main(["tables", "--checkpoint-dir", str(ckpt)]) == 0
+        first = capsys.readouterr().out
+        journaled = list(ckpt.glob("*.pkl"))
+        assert len(journaled) == 5  # one entry per table cell
+        assert main(["tables", "--resume", str(ckpt)]) == 0
+        assert capsys.readouterr().out == first
