@@ -33,7 +33,7 @@ from typing import Callable
 from ..core.composition import FlatModel
 from ..core.errors import ModelError
 from ..core.experiment import MetricFn
-from ..core.rewards import ImpulseReward, RateReward
+from ..core.rewards import Affine, ImpulseReward, Indicator, RateReward
 from ..core.simulation import RunResult
 from ..core.trace import BinaryTrace
 from .parameters import CFSParameters
@@ -97,7 +97,12 @@ def storage_availability_reward(model: FlatModel) -> RateReward:
         raw = m.raw
         return 1.0 if raw[ts] == 0 and raw[cs] == 0 else 0.0
 
-    return RateReward("storage_availability", up, reads=(tiers, ctrl))
+    return RateReward(
+        "storage_availability",
+        up,
+        reads=(tiers, ctrl),
+        form=Indicator(guards=[(tiers, "==", 0), (ctrl, "==", 0)]),
+    )
 
 
 def cfs_up_predicate(model: FlatModel) -> Callable:
@@ -171,6 +176,23 @@ def _cfs_up_fast(model: FlatModel) -> tuple[Callable, Callable, tuple[str, ...]]
     return up, up_raw, tuple(p for p in paths if p is not None)
 
 
+def _cfs_up_guards(model: FlatModel) -> tuple:
+    """The CFS-up condition as reward-form guards (same semantics as
+    :func:`_cfs_up_fast`, declaratively)."""
+    tiers, ctrl, oss, oss_sw, nw, fabric, covered = _cfs_up_paths(model)
+    oss_guard = (
+        (oss, "<=", 0) if covered is None else ((oss, covered), "<=", 0)
+    )
+    return (
+        (tiers, "==", 0),
+        (ctrl, "==", 0),
+        oss_guard,
+        (oss_sw, "==", 0),
+        (nw, "==", 0),
+        (fabric, "==", 0),
+    )
+
+
 def cfs_availability_reward(
     model: FlatModel, probe_times=None
 ) -> RateReward:
@@ -186,6 +208,7 @@ def cfs_availability_reward(
         lambda m: 1.0 if up_raw(m.raw) else 0.0,
         reads=reads,
         probe_times=probe_times,
+        form=Indicator(guards=_cfs_up_guards(model)),
     )
 
 
@@ -244,10 +267,24 @@ def perceived_availability_reward(
                 return 1.0 - raw[sw] / n_switches
             return 0.0
 
+    # The declared form compiles to an incremental update kernel, so the
+    # leaf-switch transients that dominate the petascale event stream
+    # refresh this value with one guard check + one affine recompute
+    # instead of re-calling the closure above.  The form's canonical
+    # arithmetic ``1.0 + (-1.0 · switches_down) / n_switches`` is
+    # bit-identical to the closure's ``1.0 - switches_down / n_switches``
+    # (exact sign flip, sign-symmetric IEEE division), which the
+    # simulator verifies against the closure at t=0 and the golden /
+    # differential suites pin over full trajectories.
     return RateReward(
         "perceived_availability",
         perceived,
         reads=up_reads + (switches_down, spine_up),
+        form=Affine(
+            1.0,
+            terms=[(switches_down, -1.0, n_switches)],
+            guards=_cfs_up_guards(model) + ((spine_up, "!=", 0),),
+        ),
     )
 
 

@@ -71,7 +71,7 @@ from .resilience import (
     run_tasks_supervised,
 )
 from .places import LocalView, MarkingVector, Place
-from .rewards import ImpulseReward, RateReward, RewardResult
+from .rewards import Affine, ImpulseReward, Indicator, RateReward, RewardResult
 from .rng import SeedTree, derive_seed, make_generator
 from .san import SAN, ActivityDef
 from .simulation import CompiledProgram, RunResult, Simulator
@@ -119,6 +119,8 @@ __all__ = [
     "RunResult",
     "RateReward",
     "ImpulseReward",
+    "Affine",
+    "Indicator",
     "RewardResult",
     "BinaryTrace",
     "EventTrace",

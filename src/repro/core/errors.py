@@ -75,6 +75,15 @@ class SimulationBudgetError(SimulationError):
         Simulated time reached.
     marking:
         ``place path -> value`` snapshot of the marking at termination.
+    rewards:
+        ``reward name -> partial state`` snapshot, consistent with
+        ``sim_time``.  Rate rewards map to ``{"kind": "rate",
+        "integral": ..., "value": ...}`` (the accumulated integral over
+        the observed window so far and the current rate value); impulse
+        rewards map to ``{"kind": "impulse", "impulse_sum": ...,
+        "count": ...}``.  The snapshot is taken before the interrupting
+        event executes, so it is identical whether the run used the
+        compiled reward kernels or the reference loop.
     """
 
     def __init__(
@@ -86,6 +95,7 @@ class SimulationBudgetError(SimulationError):
         n_events: int = 0,
         sim_time: float = 0.0,
         marking: dict | None = None,
+        rewards: dict | None = None,
     ) -> None:
         super().__init__(message)
         self.budget = budget
@@ -93,6 +103,7 @@ class SimulationBudgetError(SimulationError):
         self.n_events = n_events
         self.sim_time = sim_time
         self.marking = {} if marking is None else marking
+        self.rewards = {} if rewards is None else rewards
 
 
 class ChaosError(SimulationError):

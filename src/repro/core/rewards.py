@@ -28,6 +28,15 @@ other Möbius variable shapes:
 * a **declared read set** (``reads=[...]`` on rate rewards) names the
   places the function may read, letting the simulator build its per-slot
   observer lists at wiring time and skip tracked discovery entirely.
+* a **declared form** (``form=Indicator(...)`` / ``form=Affine(...)`` on
+  rate rewards) goes one step further: it states the reward's value as a
+  guarded slot-affine expression the simulator can compile into an
+  incremental update kernel — when an event writes a relevant place, the
+  kernel refreshes the reward's value inline (integer guard bookkeeping
+  plus a short affine recompute) instead of re-calling the Python
+  expression.  The kernel is verified against the Python function on the
+  first evaluation of every run, and ``engine="reference"`` never uses
+  it (the differential-testing contract of the gate/case kernels).
 """
 
 from __future__ import annotations
@@ -39,7 +48,187 @@ from typing import Callable, Sequence
 from .errors import ModelError
 from .places import LocalView
 
-__all__ = ["RateReward", "ImpulseReward", "RewardResult"]
+__all__ = [
+    "Affine",
+    "Indicator",
+    "RateReward",
+    "ImpulseReward",
+    "RewardResult",
+]
+
+#: Comparison operators accepted in reward-form guards.
+GUARD_OPS = ("<", "<=", "==", "!=", ">=", ">")
+
+
+def _validate_guards(owner: str, guards) -> tuple:
+    """Normalize/validate a guard list.
+
+    Each guard is ``(place, cmp, value)`` — the guard holds when
+    ``marking[place] cmp value`` — or ``((place_a, place_b), cmp, value)``
+    for the difference form ``marking[place_a] - marking[place_b] cmp
+    value`` (the shape the covered-pairs availability condition needs).
+    Comparisons are integer-exact, so guard evaluation can never drift
+    from the Python expression.
+    """
+    out = []
+    for g in guards:
+        try:
+            place, cmp, value = g
+        except (TypeError, ValueError):
+            raise ModelError(
+                f"{owner}: each guard must be (place, cmp, value), got {g!r}"
+            ) from None
+        if isinstance(place, (tuple, list)):
+            if len(place) != 2 or not all(isinstance(p, str) for p in place):
+                raise ModelError(
+                    f"{owner}: a difference guard needs two place paths, "
+                    f"got {place!r}"
+                )
+            place = (str(place[0]), str(place[1]))
+        elif not isinstance(place, str):
+            raise ModelError(
+                f"{owner}: guard place must be a path string or a "
+                f"(path, path) pair, got {place!r}"
+            )
+        if cmp not in GUARD_OPS:
+            raise ModelError(
+                f"{owner}: guard comparison must be one of {GUARD_OPS}, "
+                f"got {cmp!r}"
+            )
+        out.append((place, cmp, float(value) if value % 1 else int(value)))
+    return tuple(out)
+
+
+def _validate_terms(owner: str, terms) -> tuple:
+    """Normalize/validate affine terms to ``(place, coef, divisor)``.
+
+    A term contributes ``coef * marking[place] / divisor`` (division by
+    the normalized divisor ``1.0`` is exact, so the two-element shape
+    ``(place, coef)`` loses nothing).
+    """
+    out = []
+    for t in terms:
+        if len(t) == 2:
+            place, coef = t
+            div = 1.0
+        elif len(t) == 3:
+            place, coef, div = t
+        else:
+            raise ModelError(
+                f"{owner}: each term must be (place, coef) or "
+                f"(place, coef, divisor), got {t!r}"
+            )
+        if not isinstance(place, str):
+            raise ModelError(
+                f"{owner}: term place must be a path string, got {place!r}"
+            )
+        div = float(div)
+        if div == 0.0:
+            raise ModelError(f"{owner}: term divisor must be nonzero")
+        out.append((place, float(coef), div))
+    return tuple(out)
+
+
+class Affine:
+    """Guarded slot-affine reward form.
+
+    The reward's value is ``0.0`` unless every guard holds, in which case
+    it is ``base + Σ coef_i · marking[place_i] / div_i`` accumulated left
+    to right (the canonical arithmetic order — the compiled kernel and
+    the synthesized Python function both evaluate exactly this, so they
+    are bit-identical by construction).
+
+    Parameters
+    ----------
+    base:
+        Constant part of the value.
+    terms:
+        ``(place, coef)`` or ``(place, coef, divisor)`` tuples; each
+        contributes ``coef * marking[place] / divisor``.
+    guards:
+        ``(place, cmp, value)`` or ``((place_a, place_b), cmp, value)``
+        conditions (see :func:`_validate_guards`); all must hold for the
+        value to be nonzero.
+    """
+
+    __slots__ = ("base", "terms", "guards")
+
+    def __init__(self, base: float, terms=(), guards=()) -> None:
+        self.base = float(base)
+        self.terms = _validate_terms("Affine form", terms)
+        self.guards = _validate_guards("Affine form", guards)
+
+    def places(self) -> tuple[str, ...]:
+        """Every place path the form reads, in first-mention order."""
+        seen: dict[str, None] = {}
+        for place, _cmp, _v in self.guards:
+            for p in (place if isinstance(place, tuple) else (place,)):
+                seen.setdefault(p)
+        for place, _coef, _div in self.terms:
+            seen.setdefault(place)
+        return tuple(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Affine(base={self.base!r}, terms={self.terms!r}, "
+            f"guards={self.guards!r})"
+        )
+
+
+class Indicator(Affine):
+    """Guarded constant reward form: ``value`` while every guard holds.
+
+    The availability-measure shape: ``Indicator(guards=[("a", "==", 0),
+    ("b", "<=", 0)])`` is 1.0 exactly when the marking satisfies every
+    condition.  Equivalent to :class:`Affine` with no terms.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, guards, value: float = 1.0) -> None:
+        super().__init__(base=value, terms=(), guards=guards)
+        if not self.guards:
+            raise ModelError("Indicator form needs at least one guard")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Indicator(guards={self.guards!r}, value={self.base!r})"
+
+
+def _synthesize_form_function(form: Affine) -> Callable:
+    """Build the Python evaluation of a declared form.
+
+    Reads places by path through the view (so tracked discovery and the
+    declared-reads verification see every read) and computes exactly the
+    canonical guard/affine arithmetic the compiled kernel uses —
+    bit-identical by construction.
+    """
+    guards = form.guards
+    base = form.base
+    terms = form.terms
+    import operator as _op
+
+    cmp_fns = {
+        "<": _op.lt, "<=": _op.le, "==": _op.eq,
+        "!=": _op.ne, ">=": _op.ge, ">": _op.gt,
+    }
+    compiled_guards = tuple(
+        (place, cmp_fns[cmp], value) for place, cmp, value in guards
+    )
+
+    def evaluate(m) -> float:
+        for place, cmp_fn, value in compiled_guards:
+            if isinstance(place, tuple):
+                lhs = m[place[0]] - m[place[1]]
+            else:
+                lhs = m[place]
+            if not cmp_fn(lhs, value):
+                return 0.0
+        acc = base
+        for place, coef, div in terms:
+            acc += coef * m[place] / div
+        return acc
+
+    return evaluate
 
 
 def _validate_window(
@@ -92,6 +281,17 @@ class RateReward:
         run records ``(time, value)`` pairs in
         :attr:`RewardResult.instants`.  The recorded value is the left
         limit: the reward value just before any event at that instant.
+    form:
+        Optional declared :class:`Indicator` / :class:`Affine` form.  A
+        declared form is compiled by the simulator into an incremental
+        update kernel: events that write one of the form's places refresh
+        the reward inline (exact integer guard bookkeeping plus the
+        canonical affine arithmetic) instead of re-calling ``function``.
+        The kernel value is verified against ``function`` on the first
+        evaluation of every run and must match bit-for-bit — pass
+        ``function=None`` to have the function synthesized from the form,
+        which guarantees it.  When ``reads`` is omitted, it is derived
+        from the form's places.  ``engine="reference"`` ignores forms.
     """
 
     kind = "rate"
@@ -99,16 +299,35 @@ class RateReward:
     def __init__(
         self,
         name: str,
-        function: Callable[[LocalView], float],
+        function: Callable[[LocalView], float] | None = None,
         *,
         reads: Sequence[str] | None = None,
         window: tuple[float, float] | None = None,
         probe_times: Sequence[float] | None = None,
+        form: Affine | None = None,
     ) -> None:
-        if not callable(function):
+        if form is not None and not isinstance(form, Affine):
+            raise ModelError(
+                f"rate reward {name!r}: form must be an Indicator or "
+                f"Affine, got {form!r}"
+            )
+        if function is None:
+            if form is None:
+                raise ModelError(
+                    f"rate reward {name!r}: function must be callable "
+                    "(or a form declared to synthesize it from)"
+                )
+            function = _synthesize_form_function(form)
+        elif not callable(function):
             raise ModelError(f"rate reward {name!r}: function must be callable")
         self.name = name
         self.function = function
+        self.form = form
+        if reads is None and form is not None:
+            # A degenerate constant form (no guards, no terms) reads
+            # nothing: leave reads undeclared — the value never needs a
+            # refresh after t=0.
+            reads = form.places() or None
         self.reads = None if reads is None else tuple(reads)
         if self.reads is not None and not self.reads:
             raise ModelError(f"rate reward {name!r}: reads must not be empty")

@@ -926,6 +926,12 @@ class Simulator:
         self.last_kernel_effects = 0
         self.last_case_kernels = 0
         self.last_python_effects = 0
+        # Reward-form coverage of the last run (see fastpath_report):
+        # rate rewards whose declared form compiled to an incremental
+        # update kernel vs. those refreshed by re-calling their Python
+        # expression after each relevant event.
+        self.last_reward_kernels: list[str] = []
+        self.last_python_refresh_rewards: list[str] = []
 
     @property
     def sample_batch(self) -> int | None:
@@ -956,14 +962,29 @@ class Simulator:
     def fastpath_report(self) -> dict:
         """Compile-time fast-path coverage of this simulator's model.
 
-        See :meth:`CompiledProgram.fastpath_report` for the fields.
+        See :meth:`CompiledProgram.fastpath_report` for the compile-time
+        fields.  On top of those this adds the reward-form coverage of
+        the most recent :meth:`run`:
+
+        * ``reward_kernel_rewards`` — sorted names of rate rewards whose
+          declared :class:`~repro.core.rewards.Affine` /
+          :class:`~repro.core.rewards.Indicator` form compiled into an
+          incremental update kernel.
+        * ``python_refresh_rewards`` — sorted names of rate rewards
+          refreshed by re-calling their Python expression after every
+          event that touches a declared read (empty before the first
+          run).  Paper-workload models must keep this empty.
+
         Together with :attr:`last_loop` and the
         :attr:`last_kernel_effects` / :attr:`last_case_kernels` /
         :attr:`last_python_effects` counters this is the CI hook that
         keeps paper-workload models from silently falling off the
         inlined fast path (``tests/test_fastpath_coverage.py``).
         """
-        return self.program.fastpath_report()
+        report = self.program.fastpath_report()
+        report["reward_kernel_rewards"] = list(self.last_reward_kernels)
+        report["python_refresh_rewards"] = list(self.last_python_refresh_rewards)
+        return report
 
     # ------------------------------------------------------------------
     # main entry point
@@ -1037,6 +1058,15 @@ class Simulator:
         case_kern = c.case_kern if not reference else [None] * p._n_acts
         case_ok = p._case_verified
         samplers = c.samplers
+        # Unwrapped BatchedSampler objects for the hot re-activation
+        # sites: the common-case buffer pop is inlined there (a few
+        # slot-attribute loads instead of a bound-method call); an empty
+        # or exhausted buffer falls through to the plain sample() call,
+        # which performs the identical refill-and-pop.
+        batched_of = [
+            samplers[a].__self__ if c.samp_kind[a] == "batched" else None
+            for a in range(p._n_acts)
+        ]
         dyn_dists = c.dyn_dists
         is_timed = c.is_timed
         declared = c.declared
@@ -1075,6 +1105,13 @@ class Simulator:
         # change a trajectory.
         dyn_checked = p._dyn_verified
         kern_ok = p._kern_verified
+        # Verified-kernel ops, fused with the verification flag: the fast
+        # loops test one entry instead of two (kernels[aid] + kern_ok).
+        # A kernel's first completion verifies through the Python gate
+        # functions and promotes its ops here (see the verify sites).
+        live_kernels = [
+            kernels[a] if kern_ok[a] else None for a in range(p._n_acts)
+        ]
         # Only compiled completions are counted per event (free for
         # models without kernels); python-effect completions are derived
         # at run end as n_events - n_kernel_effects - n_case_kernels
@@ -1127,6 +1164,7 @@ class Simulator:
             results[r.name] = RewardResult(r.name, "impulse")
 
         n_rates = len(rate_rewards)
+        rate_range = range(n_rates)  # hoisted for the inline hot loop
         rate_results = [results[r.name] for r in rate_rewards]
         rate_fns = [r.function for r in rate_rewards]
         # Effective integration bounds per reward: the reward's window
@@ -1238,10 +1276,120 @@ class Simulator:
             LocalView(vector, model.paths, rate_known[i]) for i in range(n_rates)
         ]
         paths_index = model.paths
+        # Compiled reward-form kernels (declared Indicator/Affine forms).
+        # A form-compiled reward is *not* wired into the rate_obs observer
+        # lists: every event that writes one of its places refreshes its
+        # value inline through ``form_upd`` (exact integer guard
+        # bookkeeping + the canonical affine arithmetic) instead of
+        # re-calling the Python expression after settlement.  The
+        # reference engine never compiles forms — it keeps the tracked
+        # observer path, which is the differential oracle for this layer.
+        form_compiled = [
+            r.form is not None and not reference for r in rate_rewards
+        ]
+        # form_upd[slot]: None, or a list of (reward_i, guard_entries,
+        # base, terms) to apply when the slot's value changes.
+        # guard_entries is a tuple of (guard_j, cmp_fn, bound, slot_a,
+        # slot_b) covering the form guards that read this slot (slot_b
+        # == -1 for single-place guards); terms is the full
+        # (slot, coef, divisor) tuple of the reward's affine part.
+        form_upd: list[list | None] = [None] * n_places
+        form_gstate: list[list[bool] | None] = [None] * n_rates
+        form_viol: list[int] = [0] * n_rates
+        form_guards: list[tuple | None] = [None] * n_rates
+        form_base: list[float] = [0.0] * n_rates
+        form_terms: list[tuple | None] = [None] * n_rates
+
+        def _form_slot(rname: str, place: str) -> int:
+            slot = paths_index.get(place)
+            if slot is not None:
+                return slot
+            matches = model.match(place)
+            if len(matches) != 1:
+                raise SimulationError(
+                    f"rate reward {rname!r}: form place {place!r} resolved "
+                    f"to {len(matches)} places; expected exactly one"
+                )
+            return next(iter(matches.values()))
+
+        for i, r in enumerate(rate_rewards):
+            if not form_compiled[i]:
+                continue
+            f = r.form
+            terms = tuple(
+                (_form_slot(r.name, p), coef, div) for p, coef, div in f.terms
+            )
+            guards = []
+            for place, cmp, gval in f.guards:
+                if isinstance(place, tuple):
+                    sa = _form_slot(r.name, place[0])
+                    sb = _form_slot(r.name, place[1])
+                else:
+                    sa = _form_slot(r.name, place)
+                    sb = -1
+                guards.append((_GUARD_FNS[cmp], gval, sa, sb))
+            form_guards[i] = tuple(guards)
+            form_base[i] = f.base
+            form_terms[i] = terms
+            form_gstate[i] = [False] * len(guards)
+            relevant: dict[int, None] = {}
+            for _cmp_fn, _gv, sa, sb in guards:
+                relevant.setdefault(sa)
+                if sb >= 0:
+                    relevant.setdefault(sb)
+            for s, _coef, _div in terms:
+                relevant.setdefault(s)
+            for s in relevant:
+                gl = tuple(
+                    (gj, cmp_fn, gv, sa, sb)
+                    for gj, (cmp_fn, gv, sa, sb) in enumerate(guards)
+                    if sa == s or sb == s
+                )
+                entry = (i, gl, f.base, terms)
+                lst = form_upd[s]
+                if lst is None:
+                    form_upd[s] = [entry]
+                else:
+                    lst.append(entry)
+        has_forms = any(form_compiled)
+        self.last_reward_kernels = sorted(
+            r.name for i, r in enumerate(rate_rewards) if form_compiled[i]
+        )
+        self.last_python_refresh_rewards = sorted(
+            r.name for i, r in enumerate(rate_rewards) if not form_compiled[i]
+        )
+
+        def apply_forms(slot: int) -> None:
+            """Refresh every form-compiled reward that reads ``slot``.
+
+            Shared by the settle fixpoint and the non-kernel drain sites;
+            the two kernel hot paths inline the same body.  Reading the
+            current marking (not the write delta) keeps this idempotent:
+            the last call after the final relevant write of an event
+            leaves exactly the value the Python expression would return.
+            """
+            for fi, gl, fbase, fterms in form_upd[slot]:
+                for gj, gcmp, gv, sa, sb in gl:
+                    nv = not gcmp(
+                        values[sa] if sb < 0 else values[sa] - values[sb], gv
+                    )
+                    st = form_gstate[fi]
+                    if st[gj] != nv:
+                        st[gj] = nv
+                        form_viol[fi] += 1 if nv else -1
+                if form_viol[fi]:
+                    rate_values[fi] = 0.0
+                else:
+                    acc = fbase
+                    for ts_, tc, td in fterms:
+                        acc += tc * values[ts_] / td
+                    rate_values[fi] = acc
+
         for i, r in enumerate(rate_rewards):
             if r.reads is None:
                 continue
             known = rate_known[i]
+            wire_obs = not form_compiled[i]
             for entry in r.reads:
                 slot = paths_index.get(entry)
                 slots = [slot] if slot is not None else list(model.match(entry).values())
@@ -1253,6 +1401,8 @@ class Simulator:
                 for s in slots:
                     if s not in known:
                         known.add(s)
+                        if not wire_obs:
+                            continue
                         lst = rate_obs[s]
                         if lst is None:
                             rate_obs[s] = [i]
@@ -1275,6 +1425,24 @@ class Simulator:
         touched_t: list[int] = []
         obs_epoch = 1
 
+        # Fused per-slot observer index for the kernel hot paths: one
+        # lookup + None check per written slot instead of three
+        # (form_upd / rate_obs / btrace_obs), since almost every written
+        # slot observes nothing.  Entries alias the live observer lists,
+        # so in-place appends stay visible; the tracked-discovery sites
+        # that *replace* a ``None`` entry with a fresh list re-fuse the
+        # slot below (see eval_rate / eval_btrace).
+        slot_obs: list[tuple | None] = [None] * n_places
+
+        def _refresh_slot_obs(slot: int) -> None:
+            f, rl, tl = form_upd[slot], rate_obs[slot], btrace_obs[slot]
+            slot_obs[slot] = (
+                None if f is None and rl is None and tl is None else (f, rl, tl)
+            )
+
+        for _s in range(n_places):
+            _refresh_slot_obs(_s)
+
         def eval_rate(i: int) -> float:
             if not rate_declared[i]:
                 vector.tracking = True
@@ -1291,6 +1459,7 @@ class Simulator:
                         lst = rate_obs[slot]
                         if lst is None:
                             rate_obs[slot] = [i]
+                            _refresh_slot_obs(slot)
                         else:
                             lst.append(i)
                 return val
@@ -1333,6 +1502,7 @@ class Simulator:
                     lst = btrace_obs[slot]
                     if lst is None:
                         btrace_obs[slot] = [i]
+                        _refresh_slot_obs(slot)
                     else:
                         lst.append(i)
             return val
@@ -1702,6 +1872,8 @@ class Simulator:
                 fire(best)
                 epoch += 1
                 for slot in changed:
+                    if form_upd[slot] is not None:
+                        apply_forms(slot)
                     rlist = rate_obs[slot]
                     if rlist is not None:
                         for i in rlist:
@@ -1752,9 +1924,41 @@ class Simulator:
             obs_epoch += 1
 
         for i in range(n_rates):
-            rate_values[i] = (
+            fn_val = (
                 check_declared_rate(i) if rate_declared[i] else eval_rate(i)
             )
+            if form_compiled[i]:
+                # Initialize the kernel's guard bookkeeping from the
+                # settled t=0 marking and verify the kernel value against
+                # the Python expression — the same first-evaluation
+                # contract as the gate/case kernels.  A mismatch means
+                # the declared form disagrees with the reward function,
+                # so the incremental updates would silently diverge.
+                gstate = form_gstate[i]
+                viol = 0
+                for gj, (gcmp, gv, sa, sb) in enumerate(form_guards[i]):
+                    nv = not gcmp(
+                        values[sa] if sb < 0 else values[sa] - values[sb], gv
+                    )
+                    gstate[gj] = nv
+                    viol += nv
+                form_viol[i] = viol
+                if viol:
+                    kval = 0.0
+                else:
+                    kval = form_base[i]
+                    for ts_, tc, td in form_terms[i]:
+                        kval += tc * values[ts_] / td
+                if kval != fn_val:
+                    raise SimulationError(
+                        f"rate reward {rate_rewards[i].name!r}: declared "
+                        f"form evaluates to {kval!r} at t=0 but the reward "
+                        f"function returned {fn_val!r}; the form does not "
+                        "match the expression"
+                    )
+                rate_values[i] = kval
+            else:
+                rate_values[i] = fn_val
         for i, tr in enumerate(binary_traces):
             btrace_values[i] = eval_btrace(i)
             tr.observe(0.0, btrace_values[i])
@@ -1830,6 +2034,26 @@ class Simulator:
         def raise_budget(kind: str, limit: float | int) -> None:
             # Snapshot the partial trajectory so callers can diagnose the
             # runaway model (marking, events, simulated time reached).
+            # Reward state is snapshotted exactly as integrated to the
+            # reported sim_time: the budget check precedes the pending
+            # event's integration step, so integrals, current rate values
+            # (kernel-maintained or Python-refreshed) and impulse sums
+            # are mutually consistent — and identical between the
+            # observed and reference loops at the same event count.
+            partial_rewards: dict[str, dict] = {}
+            for ri in range(n_rates):
+                partial_rewards[rate_rewards[ri].name] = {
+                    "kind": "rate",
+                    "integral": rate_integrals[ri],
+                    "value": rate_values[ri],
+                }
+            for r_ in impulse_rewards:
+                res_ = results[r_.name]
+                partial_rewards[r_.name] = {
+                    "kind": "impulse",
+                    "impulse_sum": res_.impulse_sum,
+                    "count": res_.count,
+                }
             raise SimulationBudgetError(
                 f"simulation exceeded {kind}={limit!r} after {n_events} "
                 f"events at t={now:.6g} (until={until:g})",
@@ -1841,9 +2065,19 @@ class Simulator:
                     path: values[slot]
                     for path, slot in self.model.paths.items()
                 },
+                rewards=partial_rewards,
             )
 
         observed = has_instants or has_watch or has_stop or has_probes or has_budget
+        # True iff some slot feeds a tracked observer (python-refresh
+        # reward or binary trace).  Computed after the t=0 evaluations,
+        # so initial discovery is included; when False, the touched
+        # buffers can never fill mid-run (every drain site walks
+        # rate_obs/btrace_obs entries, all None) and the observed loop
+        # skips the per-event drain checks and epoch bump entirely.
+        has_tracked_obs = any(
+            l is not None for l in rate_obs
+        ) or any(l is not None for l in btrace_obs)
         self.last_loop = (
             "reference"
             if self.engine == "reference"
@@ -1928,6 +2162,8 @@ class Simulator:
             reads_clear = reads.clear
             changed_pop = changed.pop
             dirty_clear = dirty.clear
+            dirty_sort = dirty.sort
+            dirty_append = dirty.append
             heappushpop = heapq.heappushpop
             pending: tuple[float, int, int, int] | None = None
             while True:
@@ -1960,7 +2196,7 @@ class Simulator:
                     b = ftime if ftime < until else until
                     if b > a:
                         span = b - a
-                        for i in range(n_rates):
+                        for i in rate_range:
                             val = rate_values[i]
                             if val != 0.0:
                                 rate_integrals[i] += val * span
@@ -1968,14 +2204,14 @@ class Simulator:
                 elif has_rates:
                     integrate_to(ftime)
                 now = ftime
-                token[aid] += 1
+                token[aid] = tok + 1
 
                 n_events += 1
                 epoch += 1
                 stamp[aid] = epoch
-                dirty.append(aid)
-                ops = kernels[aid]
-                if ops is not None and kern_ok[aid]:
+                dirty_append(aid)
+                ops = live_kernels[aid]
+                if ops is not None:
                     # Compiled gate-write kernel: apply the precomputed
                     # slot ops and mark each written slot's observers and
                     # dependents directly — no gate-function call, no
@@ -1993,23 +2229,48 @@ class Simulator:
                             values[slot] = amount
                         else:
                             continue
-                        rlist = rate_obs[slot]
-                        if rlist is not None:
-                            for i in rlist:
-                                if rstamp[i] != obs_epoch:
-                                    rstamp[i] = obs_epoch
-                                    touched_r.append(i)
-                        tlist = btrace_obs[slot]
-                        if tlist is not None:
-                            for i in tlist:
-                                if tstamp[i] != obs_epoch:
-                                    tstamp[i] = obs_epoch
-                                    touched_t.append(i)
+                        so = slot_obs[slot]
+                        if so is not None:
+                            ful, rlist, tlist = so
+                            if ful is not None:
+                                # Reward-form kernel, inlined (see
+                                # apply_forms): integer guard bookkeeping
+                                # + the canonical affine recompute replace
+                                # the deferred Python re-evaluation.
+                                for fi, gl, fbase, fterms in ful:
+                                    for gj, gcmp, gv, sa, sb in gl:
+                                        nv = not gcmp(
+                                            values[sa]
+                                            if sb < 0
+                                            else values[sa] - values[sb],
+                                            gv,
+                                        )
+                                        st = form_gstate[fi]
+                                        if st[gj] != nv:
+                                            st[gj] = nv
+                                            form_viol[fi] += 1 if nv else -1
+                                    if form_viol[fi]:
+                                        rate_values[fi] = 0.0
+                                    else:
+                                        facc = fbase
+                                        for ts_, tc, td in fterms:
+                                            facc += tc * values[ts_] / td
+                                        rate_values[fi] = facc
+                            if rlist is not None:
+                                for i in rlist:
+                                    if rstamp[i] != obs_epoch:
+                                        rstamp[i] = obs_epoch
+                                        touched_r.append(i)
+                            if tlist is not None:
+                                for i in tlist:
+                                    if tstamp[i] != obs_epoch:
+                                        tstamp[i] = obs_epoch
+                                        touched_t.append(i)
                         if dl:
                             for d in dl:
                                 if stamp[d] != epoch:
                                     stamp[d] = epoch
-                                    dirty.append(d)
+                                    dirty_append(d)
                 elif has_case[aid]:
                     # Compiled case/guard kernel: branch selected with the
                     # same uniform (or guard evaluation) the Python path
@@ -2029,26 +2290,55 @@ class Simulator:
                                 values[slot] = amount
                             else:
                                 continue
-                            rlist = rate_obs[slot]
-                            if rlist is not None:
-                                for i in rlist:
-                                    if rstamp[i] != obs_epoch:
-                                        rstamp[i] = obs_epoch
-                                        touched_r.append(i)
-                            tlist = btrace_obs[slot]
-                            if tlist is not None:
-                                for i in tlist:
-                                    if tstamp[i] != obs_epoch:
-                                        tstamp[i] = obs_epoch
-                                        touched_t.append(i)
+                            so = slot_obs[slot]
+                            if so is not None:
+                                ful, rlist, tlist = so
+                                if ful is not None:
+                                    # Reward-form kernel, inlined (see
+                                    # apply_forms).
+                                    for fi, gl, fbase, fterms in ful:
+                                        for gj, gcmp, gv, sa, sb in gl:
+                                            nv = not gcmp(
+                                                values[sa]
+                                                if sb < 0
+                                                else values[sa] - values[sb],
+                                                gv,
+                                            )
+                                            st = form_gstate[fi]
+                                            if st[gj] != nv:
+                                                st[gj] = nv
+                                                form_viol[fi] += (
+                                                    1 if nv else -1
+                                                )
+                                        if form_viol[fi]:
+                                            rate_values[fi] = 0.0
+                                        else:
+                                            facc = fbase
+                                            for ts_, tc, td in fterms:
+                                                facc += (
+                                                    tc * values[ts_] / td
+                                                )
+                                            rate_values[fi] = facc
+                                if rlist is not None:
+                                    for i in rlist:
+                                        if rstamp[i] != obs_epoch:
+                                            rstamp[i] = obs_epoch
+                                            touched_r.append(i)
+                                if tlist is not None:
+                                    for i in tlist:
+                                        if tstamp[i] != obs_epoch:
+                                            tstamp[i] = obs_epoch
+                                            touched_t.append(i)
                             if dl:
                                 for d in dl:
                                     if stamp[d] != epoch:
                                         stamp[d] = epoch
-                                        dirty.append(d)
+                                        dirty_append(d)
                     else:
                         while changed:
                             slot = changed_pop()
+                            if form_upd[slot] is not None:
+                                apply_forms(slot)
                             rlist = rate_obs[slot]
                             if rlist is not None:
                                 for i in rlist:
@@ -2064,9 +2354,10 @@ class Simulator:
                             for d in dep_lists[slot]:
                                 if stamp[d] != epoch:
                                     stamp[d] = epoch
-                                    dirty.append(d)
+                                    dirty_append(d)
                 else:
-                    if ops is None:
+                    kops = kernels[aid]
+                    if kops is None:
                         view = views[aid]
                         fn1 = plain1[aid]
                         if fn1 is not None:
@@ -2084,8 +2375,11 @@ class Simulator:
                     else:
                         verify_kernel(aid)
                         kern_ok[aid] = True
+                        live_kernels[aid] = kops
                     while changed:
                         slot = changed_pop()
+                        if form_upd[slot] is not None:
+                            apply_forms(slot)
                         rlist = rate_obs[slot]
                         if rlist is not None:
                             for i in rlist:
@@ -2101,7 +2395,7 @@ class Simulator:
                         for d in dep_lists[slot]:
                             if stamp[d] != epoch:
                                 stamp[d] = epoch
-                                dirty.append(d)
+                                dirty_append(d)
                 if has_observers:
                     w = act_watch[aid]
                     if w is not None:
@@ -2117,7 +2411,7 @@ class Simulator:
                             path = act_paths[aid]
                             for tr in etr:
                                 tr.record(now, path, gview)
-                dirty.sort()
+                dirty_sort()
                 tracking_on = False
                 for aid2 in dirty:
                     if declared[aid2]:
@@ -2167,7 +2461,20 @@ class Simulator:
                         token[aid2] = tok2
                         sm = samplers[aid2]
                         if sm is not None:
-                            delay = sm(rng)
+                            bs = batched_of[aid2]
+                            if bs is None:
+                                delay = sm(rng)
+                            else:
+                                # inlined BatchedSampler.sample fast
+                                # path: identical pop; an empty or
+                                # exhausted buffer refills via the call
+                                bpos = bs._pos
+                                bbuf = bs._buffer
+                                if bbuf is not None and bpos < bs.batch_size:
+                                    bs._pos = bpos + 1
+                                    delay = bbuf[bpos]
+                                else:
+                                    delay = sm(rng)
                         else:
                             if tracking_on:
                                 vector.tracking = False
@@ -2196,29 +2503,30 @@ class Simulator:
                     # the reference loop would inside its settle(dirty).
                     settle(dirty)
 
-                if touched_r:
-                    # Declared rewards refresh with a direct call (no
-                    # tracked-discovery wrapper); value-identical to
-                    # eval_rate, which takes the same branch.  The
-                    # float() coercion is skipped when the function
-                    # already returned a float (the overwhelming case).
-                    for i in touched_r:
-                        if rate_declared[i]:
-                            v = rate_fns[i](rate_views[i])
-                            rate_values[i] = (
-                                v if v.__class__ is float else float(v)
-                            )
-                        else:
-                            rate_values[i] = eval_rate(i)
-                    del touched_r[:]
-                if touched_t:
-                    for i in touched_t:
-                        val = eval_btrace(i)
-                        if val != btrace_values[i]:
-                            btrace_values[i] = val
-                            binary_traces[i].observe(now, val)
-                    del touched_t[:]
-                obs_epoch += 1
+                if has_tracked_obs:
+                    if touched_r:
+                        # Declared rewards refresh with a direct call (no
+                        # tracked-discovery wrapper); value-identical to
+                        # eval_rate, which takes the same branch.  The
+                        # float() coercion is skipped when the function
+                        # already returned a float (the overwhelming case).
+                        for i in touched_r:
+                            if rate_declared[i]:
+                                v = rate_fns[i](rate_views[i])
+                                rate_values[i] = (
+                                    v if v.__class__ is float else float(v)
+                                )
+                            else:
+                                rate_values[i] = eval_rate(i)
+                        del touched_r[:]
+                    if touched_t:
+                        for i in touched_t:
+                            val = eval_btrace(i)
+                            if val != btrace_values[i]:
+                                btrace_values[i] = val
+                                binary_traces[i].observe(now, val)
+                        del touched_t[:]
+                    obs_epoch += 1
 
                 if has_stop and stop_predicate(gview):
                     stopped_early = True
@@ -2237,6 +2545,8 @@ class Simulator:
             reads_clear = reads.clear
             changed_pop = changed.pop
             dirty_clear = dirty.clear
+            dirty_sort = dirty.sort
+            dirty_append = dirty.append
             heappushpop = heapq.heappushpop
             pending: tuple[float, int, int, int] | None = None
             while True:
@@ -2252,14 +2562,14 @@ class Simulator:
                 if ftime > until:
                     break
                 now = ftime
-                token[aid] += 1
+                token[aid] = tok + 1
 
                 n_events += 1
                 epoch += 1
                 stamp[aid] = epoch
-                dirty.append(aid)
-                ops = kernels[aid]
-                if ops is not None and kern_ok[aid]:
+                dirty_append(aid)
+                ops = live_kernels[aid]
+                if ops is not None:
                     # Compiled gate-write kernel (see the observed loop):
                     # precomputed slot ops, dependents marked in place.
                     n_kernel_effects += 1
@@ -2277,7 +2587,7 @@ class Simulator:
                             for d in dl:
                                 if stamp[d] != epoch:
                                     stamp[d] = epoch
-                                    dirty.append(d)
+                                    dirty_append(d)
                 elif has_case[aid]:
                     # Compiled case/guard kernel (see the observed loop).
                     cops = select_case_branch(aid)
@@ -2297,15 +2607,16 @@ class Simulator:
                                 for d in dl:
                                     if stamp[d] != epoch:
                                         stamp[d] = epoch
-                                        dirty.append(d)
+                                        dirty_append(d)
                     else:
                         while changed:
                             for d in dep_lists[changed_pop()]:
                                 if stamp[d] != epoch:
                                     stamp[d] = epoch
-                                    dirty.append(d)
+                                    dirty_append(d)
                 else:
-                    if ops is None:
+                    kops = kernels[aid]
+                    if kops is None:
                         view = views[aid]
                         fn1 = plain1[aid]
                         if fn1 is not None:
@@ -2323,11 +2634,12 @@ class Simulator:
                     else:
                         verify_kernel(aid)
                         kern_ok[aid] = True
+                        live_kernels[aid] = kops
                     while changed:
                         for d in dep_lists[changed_pop()]:
                             if stamp[d] != epoch:
                                 stamp[d] = epoch
-                                dirty.append(d)
+                                dirty_append(d)
                 if has_observers:
                     w = act_watch[aid]
                     if w is not None:
@@ -2343,7 +2655,7 @@ class Simulator:
                             path = act_paths[aid]
                             for tr in etr:
                                 tr.record(now, path, gview)
-                dirty.sort()
+                dirty_sort()
                 tracking_on = False
                 for aid2 in dirty:
                     if declared[aid2]:
@@ -2382,7 +2694,20 @@ class Simulator:
                         token[aid2] = tok2
                         sm = samplers[aid2]
                         if sm is not None:
-                            delay = sm(rng)
+                            bs = batched_of[aid2]
+                            if bs is None:
+                                delay = sm(rng)
+                            else:
+                                # inlined BatchedSampler.sample fast
+                                # path: identical pop; an empty or
+                                # exhausted buffer refills via the call
+                                bpos = bs._pos
+                                bbuf = bs._buffer
+                                if bbuf is not None and bpos < bs.batch_size:
+                                    bs._pos = bpos + 1
+                                    delay = bbuf[bpos]
+                                else:
+                                    delay = sm(rng)
                         else:
                             if tracking_on:
                                 vector.tracking = False

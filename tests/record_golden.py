@@ -32,6 +32,13 @@ One intentional re-record on top of the original recordings: the
 in PR 5 when ``StorageModel`` adopted ``batch_dynamic=True`` (block
 serving its marking-dependent equilibrium draws changes default-mode
 stream consumption; per-draw entries were unaffected).
+
+PR 7's ``EquilibriumResidual`` upper-tail fix (exact inversion for
+``u > 0.999`` instead of grid interpolation) was audited for golden
+impact the same way: re-recording after the fix reproduced both fixture
+files byte-for-byte — none of the recorded trajectories' equilibrium
+draws landed a uniform in the affected ``(0.999, 1 - 1e-5]`` band — so
+no entries were re-recorded.
 """
 
 from __future__ import annotations

@@ -10,6 +10,10 @@ seeds on three reference models:
   the optimized engine is bit-identical to the historical one;
 * ``*_batched`` entries pin the default (block-sampling) engine so that
   future changes cannot silently perturb default trajectories either.
+
+PR 7's ``EquilibriumResidual`` upper-tail accuracy fix (exact inversion
+for ``u > 0.999``) left every entry byte-identical — verified by
+re-recording and diffing; see ``record_golden.py`` for the audit note.
 """
 
 from __future__ import annotations

@@ -13,7 +13,11 @@ This suite pins, for the ABE and petascale cluster models:
   case kernels closed the last residue: the propagation coins and the
   conditional tier restore),
 * the runtime kernel / case-kernel / python completion counters,
-* the sampling mode of every timed activity.
+* the sampling mode of every timed activity,
+* that **every** rate reward of a measured run declares a compiled form
+  — ``python_refresh_rewards`` is empty (since PR 7's reward kernels) —
+  so a new or edited cluster measure without a declared form fails CI
+  instead of silently re-calling its Python expression per event.
 
 CI runs this file on every push (see .github/workflows/ci.yml).
 """
@@ -84,6 +88,20 @@ class TestCompiledCoverage:
         sim = cluster.simulator
         res = sim.run(700.0, rewards=cluster.measures.rewards)
         assert sim.last_loop == "observed"
+        # Every rate reward of the paper measure set must compile its
+        # declared form into an incremental update kernel — an
+        # undeclared reward form here is a CI failure, not a silent
+        # per-event Python refresh.
+        report = sim.fastpath_report()
+        assert report["python_refresh_rewards"] == [], (
+            "rate rewards fell back to per-event Python refresh: "
+            f"{report['python_refresh_rewards']}"
+        )
+        assert report["reward_kernel_rewards"] == [
+            "cfs_availability",
+            "perceived_availability",
+            "storage_availability",
+        ]
         assert (
             sim.last_kernel_effects
             + sim.last_case_kernels
