@@ -1,0 +1,127 @@
+"""Rare-event engine benchmarks: splitting throughput + stopping overhead.
+
+The deep-tail headline (docs/performance.md, Layer 8) is ~150x effective
+speedup from RESTART splitting on the petascale tier, and replications
+saved by the adaptive stopping rule.  These benches track the two cost
+terms that speedup rests on, at a size small enough for CI smoke:
+
+* ``bench_splitting_small_tier`` runs a full splitting study on the
+  4-disk aggregate tier — the per-segment cost (restart-from-marking,
+  branch bookkeeping, per-branch seeded streams) is the unit the
+  deep-tail wall-clock multiplies;
+* ``bench_crude_same_model`` is the same study through the crude
+  (single-threshold, no-splitting) path — the A/B for the splitting
+  tree's bookkeeping overhead per root;
+* ``bench_adaptive_stopping_overhead`` replicates a tier study to a
+  relative-CI target vs a fixed count of the same size, so the batch
+  means / CI re-check cost per round stays visibly near zero.
+
+Every estimate is asserted bit-stable across rounds (same seeds, same
+schedule), so the benches double as determinism smoke tests.
+"""
+
+from __future__ import annotations
+
+from repro.core import Simulator, StoppingRule
+from repro.core.experiment import replicate_runs
+from repro.core.parallel import build_setup_cached
+from repro.experiments.rare import (
+    aggregate_tier_san,
+    splitting_probability,
+    tier_replication_spec,
+    tier_splitting_policy,
+)
+
+N_DISKS, TOLERANCE, FAIL_RATE, REPAIR_RATE = 4, 1, 0.01, 0.5
+HOURS = 100.0
+N_ROOTS = 48
+N_REPS = 48
+
+
+def _simulator():
+    return Simulator(
+        aggregate_tier_san(N_DISKS, TOLERANCE, FAIL_RATE, REPAIR_RATE),
+        base_seed=2008,
+    )
+
+
+def _policy():
+    return tier_splitting_policy(N_DISKS, TOLERANCE, FAIL_RATE, REPAIR_RATE)
+
+
+def bench_splitting_small_tier(benchmark):
+    """Full RESTART study: per-segment restart + branch bookkeeping cost."""
+
+    def study():
+        return splitting_probability(
+            _simulator(), HOURS, _policy(), n_roots=N_ROOTS
+        )
+
+    baseline = study()
+    est = benchmark.pedantic(study, rounds=5, iterations=1, warmup_rounds=1)
+    assert est.n_roots == N_ROOTS
+    assert est.n_segments > N_ROOTS  # the tree actually branched
+    assert est.samples == baseline.samples  # seeded: bit-stable per round
+
+
+def bench_crude_same_model(benchmark):
+    """Same study, single top threshold: no splitting bookkeeping."""
+    crude = _policy().crude()
+
+    def study():
+        return splitting_probability(
+            _simulator(), HOURS, crude, n_roots=N_ROOTS
+        )
+
+    baseline = study()
+    est = benchmark.pedantic(study, rounds=5, iterations=1, warmup_rounds=1)
+    assert est.n_roots == est.n_segments == N_ROOTS
+    assert est.samples == baseline.samples
+
+
+def bench_adaptive_stopping_overhead(benchmark):
+    """Replicate to a rel-CI target vs a fixed count of the same size.
+
+    The rule below never stops early on this config (target far below
+    what N_REPS can deliver), so the adaptive run does exactly the fixed
+    run's replications plus the per-round batch-means/CI checks — the
+    measured delta vs ``bench_fixed_count_baseline`` is pure rule cost.
+    """
+    spec = tier_replication_spec(
+        N_DISKS, TOLERANCE, FAIL_RATE, REPAIR_RATE, base_seed=2008
+    )
+    setup, _metrics = build_setup_cached(spec)
+    rule = StoppingRule(rel_ci=1e-9, metrics=("lost",), batch=4)
+
+    def adaptive():
+        return replicate_runs(
+            setup.simulator,
+            HOURS,
+            n_replications=N_REPS,
+            rewards=setup.rewards,
+            stopping=rule,
+        )
+
+    result = benchmark.pedantic(
+        adaptive, rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert result.n_replications == N_REPS  # ran to the cap
+
+
+def bench_fixed_count_baseline(benchmark):
+    """The fixed-count twin of the adaptive bench (A/B denominator)."""
+    spec = tier_replication_spec(
+        N_DISKS, TOLERANCE, FAIL_RATE, REPAIR_RATE, base_seed=2008
+    )
+    setup, _metrics = build_setup_cached(spec)
+
+    def fixed():
+        return replicate_runs(
+            setup.simulator,
+            HOURS,
+            n_replications=N_REPS,
+            rewards=setup.rewards,
+        )
+
+    result = benchmark.pedantic(fixed, rounds=5, iterations=1, warmup_rounds=1)
+    assert result.n_replications == N_REPS

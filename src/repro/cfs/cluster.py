@@ -207,6 +207,7 @@ class ClusterModel:
         warmup: float = 0.0,
         n_jobs: int | None = 1,
         availability_probes=None,
+        stopping=None,
     ) -> ClusterResult:
         """Run replications and collect the paper's measures.
 
@@ -215,7 +216,10 @@ class ClusterModel:
         ``availability_probes`` adds instant-of-time CFS-availability
         samples at the given hours; each probe becomes a
         ``cfs_availability@t`` metric, so the result carries a CI'd
-        availability timeline A(t).
+        availability timeline A(t).  ``stopping`` (a
+        :class:`~repro.core.stopping.StoppingRule`) stops replicating as
+        soon as the watched metrics reach their relative-CI target,
+        with ``n_replications`` as the cap.
         """
         if availability_probes is not None:
             probes = tuple(float(t) for t in availability_probes)
@@ -236,6 +240,7 @@ class ClusterModel:
             extra_metrics=measures.extra_metrics,
             n_jobs=n_jobs,
             spec=spec,
+            stopping=stopping,
         )
         return ClusterResult(self.params, experiment)
 
@@ -280,11 +285,14 @@ class StorageModel:
         n_replications: int = 10,
         warmup: float = 0.0,
         n_jobs: int | None = 1,
+        stopping=None,
     ) -> ClusterResult:
         """Run replications of the storage-only model.
 
         ``n_jobs`` runs replications across processes (-1 = all cores);
         results are bit-identical to serial execution for any value.
+        ``stopping`` stops replicating at the rule's relative-CI
+        target, with ``n_replications`` as the cap.
         """
         experiment = replicate_runs(
             self.simulator,
@@ -295,5 +303,6 @@ class StorageModel:
             extra_metrics=self.measures.extra_metrics,
             n_jobs=n_jobs,
             spec=self.replication_spec(),
+            stopping=stopping,
         )
         return ClusterResult(self.params, experiment)

@@ -8,6 +8,9 @@ Commands
 ``calibrate``     print the Figure 4 anchors (ABE / petascale / spare)
 ``simulate``      simulate one preset and print its measures
 ``logs``          synthesize the ABE logs into a directory
+``rare``          estimate a tier's deep-tail data-loss probability
+                  (RESTART importance splitting vs. brute force, checked
+                  against the Markov closed form)
 """
 
 from __future__ import annotations
@@ -83,9 +86,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(p_all)
     add_checkpoint(p_all)
 
+    def rel_ci_value(text: str) -> float:
+        value = float(text)
+        if not 0.0 < value < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"must be in (0, 1), got {value}"
+            )
+        return value
+
+    def add_rel_ci(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--rel-ci",
+            type=rel_ci_value,
+            default=None,
+            metavar="R",
+            help="stop replicating once the CFS-availability CI "
+            "half-width falls below R x the mean (--replications becomes "
+            "the cap); the stopping point is identical for any --jobs",
+        )
+
     p_cal = sub.add_parser("calibrate", help="print the Figure 4 anchors")
     p_cal.add_argument("--replications", type=int, default=8)
     p_cal.add_argument("--hours", type=float, default=8760.0)
+    add_rel_ci(p_cal)
     add_jobs(p_cal)
     add_checkpoint(p_cal)
 
@@ -94,7 +117,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--replications", type=int, default=8)
     p_sim.add_argument("--hours", type=float, default=8760.0)
     p_sim.add_argument("--seed", type=int, default=2008)
+    add_rel_ci(p_sim)
     add_jobs(p_sim, unit="replications (one study, no grid)")
+
+    p_rare = sub.add_parser(
+        "rare",
+        help="estimate a storage tier's data-loss probability "
+        "(importance splitting)",
+    )
+    p_rare.add_argument("--disks", type=int, default=480, metavar="N")
+    p_rare.add_argument(
+        "--tolerance", type=int, default=6, metavar="F",
+        help="disk failures the tier survives (loss at F+1 concurrent)",
+    )
+    p_rare.add_argument("--fail-rate", type=float, default=1e-5, metavar="L")
+    p_rare.add_argument("--repair-rate", type=float, default=0.02, metavar="M")
+    p_rare.add_argument("--hours", type=float, default=8760.0)
+    p_rare.add_argument(
+        "--roots", type=int, default=256, metavar="K",
+        help="root replications (the cap when --rel-ci is set)",
+    )
+    p_rare.add_argument(
+        "--rel-ci", type=rel_ci_value, default=None, metavar="R",
+        help="stop once the estimate's CI half-width falls below "
+        "R x the estimate",
+    )
+    p_rare.add_argument(
+        "--splitting",
+        action="store_true",
+        help="RESTART importance splitting (one level per concurrently "
+        "failed disk, near-optimal factors); default is crude Monte "
+        "Carlo with early stopping at the loss event",
+    )
+    p_rare.add_argument("--seed", type=int, default=2008)
+    add_jobs(p_rare, unit="root replications (one study, no grid)")
 
     p_logs = sub.add_parser("logs", help="synthesize the ABE logs")
     p_logs.add_argument("output_dir")
@@ -176,6 +232,15 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stopping_rule(rel_ci: float | None):
+    """CLI ``--rel-ci`` to a CFS-availability stopping rule (or None)."""
+    if rel_ci is None:
+        return None
+    from .core import StoppingRule
+
+    return StoppingRule(rel_ci=rel_ci, metrics=("cfs_availability",))
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .cfs import ClusterModel, abe_parameters, petascale_parameters
     from .experiments import replication_cell, run_sweep
@@ -193,19 +258,23 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     # 3 cells x 4 replication workers (results are bit-identical for
     # every split).
     jobs = resolve_n_jobs(args.jobs)
+    stopping = _stopping_rule(args.rel_ci)
     cells = [
         replication_cell(
             label,
             ClusterModel.spec(params, 2008),
             args.hours,
             args.replications,
+            stopping=stopping,
         )
         for label, params in presets
     ]
     results = run_sweep(cells, n_jobs=jobs, checkpoint_dir=args.checkpoint_dir)
     for label, _params in presets:
         est = results[label].estimate("cfs_availability")
-        print(f"{label:<32} CFS availability {est}")
+        n = results[label].n_replications
+        saved = f" [{n}/{args.replications} replications]" if stopping else ""
+        print(f"{label:<32} CFS availability {est}{saved}")
     inner = max(1, jobs // len(cells))
     print(
         f"[{time.time() - t0:.0f}s, {min(jobs, len(cells))} cell worker(s) "
@@ -223,10 +292,78 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "petascale-spare": lambda: petascale_parameters().with_spare_oss(1),
     }[args.preset]()
     model = ClusterModel(params, base_seed=args.seed)
+    stopping = _stopping_rule(args.rel_ci)
     result = model.simulate(
-        hours=args.hours, n_replications=args.replications, n_jobs=args.jobs
+        hours=args.hours,
+        n_replications=args.replications,
+        n_jobs=args.jobs,
+        stopping=stopping,
     )
+    if stopping is not None:
+        n = result.experiment.n_replications
+        print(f"[adaptive stopping: {n}/{args.replications} replications]")
     print(result.summary())
+    return 0
+
+
+def _cmd_rare(args: argparse.Namespace) -> int:
+    from .core import StoppingRule
+    from .experiments import (
+        brute_force_probability,
+        splitting_probability,
+        tier_level,
+        tier_replication_spec,
+        tier_splitting_policy,
+    )
+    from .markov.raid_markov import RAIDTierMarkov
+
+    t0 = time.time()
+    spec = tier_replication_spec(
+        args.disks, args.tolerance, args.fail_rate, args.repair_rate,
+        args.seed,
+    )
+    stopping = (
+        StoppingRule(rel_ci=args.rel_ci) if args.rel_ci is not None else None
+    )
+    policy = tier_splitting_policy(
+        args.disks, args.tolerance, args.fail_rate, args.repair_rate
+    )
+    if args.splitting:
+        est = splitting_probability(
+            spec, args.hours, policy,
+            n_roots=args.roots, stopping=stopping, n_jobs=args.jobs,
+        )
+    else:
+        from .core.parallel import build_setup_cached
+
+        setup, _metrics = build_setup_cached(spec)
+        est = brute_force_probability(
+            setup.simulator, args.hours, tier_level(),
+            float(args.tolerance + 1),
+            n_replications=args.roots, stopping=stopping, n_jobs=args.jobs,
+        )
+    chain = RAIDTierMarkov(
+        n_disks=args.disks,
+        fault_tolerance=args.tolerance,
+        disk_failure_rate=args.fail_rate,
+        disk_repair_rate=args.repair_rate,
+    ).absorbing_chain()
+    exact = chain.transient(0, args.hours)[args.tolerance + 1]
+    print(
+        f"P(data loss within {args.hours:g} h), {args.disks} disks, "
+        f"tolerance {args.tolerance}:"
+    )
+    print(f"  estimate     {est}")
+    print(f"  closed form  {exact:.6g} (Markov transient)")
+    if est.probability > 0.0:
+        inside = "inside" if est.estimate().contains(exact) else "OUTSIDE"
+        print(f"  closed form is {inside} the estimate's CI")
+    elif not args.splitting:
+        print(
+            "  no events observed — the tail is out of brute-force reach; "
+            "rerun with --splitting"
+        )
+    print(f"  [{time.time() - t0:.1f}s]")
     return 0
 
 
@@ -252,6 +389,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "simulate": _cmd_simulate,
     "logs": _cmd_logs,
+    "rare": _cmd_rare,
 }
 
 

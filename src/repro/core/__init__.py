@@ -76,6 +76,12 @@ from .rng import SeedTree, derive_seed, make_generator
 from .san import SAN, ActivityDef
 from .simulation import CompiledProgram, RunResult, Simulator
 from .statespace import StateSpace, explore
+from .stopping import (
+    StoppingRule,
+    batch_means,
+    batch_means_half_width,
+    batch_means_variance,
+)
 from .trace import BinaryTrace, EventTrace, Interval, TraceEvent
 
 __all__ = [
@@ -130,6 +136,10 @@ __all__ = [
     "ExperimentResult",
     "replicate_runs",
     "build_metrics",
+    "StoppingRule",
+    "batch_means",
+    "batch_means_half_width",
+    "batch_means_variance",
     "BatchedSampler",
     "ReplicationSetup",
     "ReplicationSpec",

@@ -196,6 +196,7 @@ def replicate_runs(
     retry: "RetryPolicy | None" = None,
     chaos: "ChaosPolicy | None" = None,
     serial_fallback: bool = True,
+    stopping: "StoppingRule | None" = None,
 ) -> ExperimentResult:
     """Run independent replications and summarize metrics with CIs.
 
@@ -238,6 +239,18 @@ def replicate_runs(
         recovery re-executes only incomplete replications and is
         bit-identical to an uninterrupted run.  Serial execution
         (``n_jobs=1``) runs unsupervised.
+    stopping:
+        Optional :class:`~repro.core.stopping.StoppingRule` enabling
+        sequential stopping: replications run in deterministic rounds
+        and stop as soon as the watched metrics' relative CI half-width
+        (batch-means variance) reaches the rule's target —
+        ``n_replications`` becomes the *cap* rather than the exact
+        count.  Replication ``k`` still draws from seed-tree stream
+        ``k`` and decisions happen only at round boundaries, so the
+        stopping point (and every sample) is identical for serial
+        execution, any ``n_jobs``, and resumed runs.  Default ``None``
+        runs exactly ``n_replications`` replications, byte-identical to
+        previous releases.
     """
     if n_replications < 1:
         raise SimulationError(f"n_replications must be >= 1, got {n_replications}")
@@ -250,6 +263,25 @@ def replicate_runs(
     )
 
     jobs = resolve_n_jobs(n_jobs)
+    if stopping is not None:
+        return _replicate_adaptive(
+            simulator,
+            until,
+            cap=n_replications,
+            warmup=warmup,
+            rewards=rewards,
+            traces_factory=traces_factory,
+            extra_metrics=extra_metrics,
+            metrics=metrics,
+            confidence=confidence,
+            on_result=on_result,
+            jobs=jobs,
+            spec=spec,
+            retry=retry,
+            chaos=chaos,
+            serial_fallback=serial_fallback,
+            stopping=stopping,
+        )
     if jobs > 1:
         if on_result is not None:
             raise SimulationError(
@@ -289,4 +321,80 @@ def replicate_runs(
             samples[name].append(float(fn(result)))
         if on_result is not None:
             on_result(k, result)
+    return ExperimentResult(samples, until, warmup, confidence)
+
+
+def _replicate_adaptive(
+    simulator: Simulator,
+    until: float,
+    *,
+    cap: int,
+    warmup: float,
+    rewards,
+    traces_factory,
+    extra_metrics,
+    metrics: Mapping[str, MetricFn],
+    confidence: float,
+    on_result,
+    jobs: int,
+    spec,
+    retry,
+    chaos,
+    serial_fallback: bool,
+    stopping,
+) -> ExperimentResult:
+    """Sequential-stopping body of :func:`replicate_runs`.
+
+    Rounds follow the rule's deterministic schedule
+    (:meth:`~repro.core.stopping.StoppingRule.next_round`); the decision
+    after each round sees exactly the per-metric sample prefix a serial
+    run would have, so serial, pooled, and resumed executions stop at
+    the same replication count with float-identical samples.
+    """
+    from .parallel import ReplicationSetup, run_replications_adaptive
+
+    if jobs > 1:
+        if on_result is not None:
+            raise SimulationError(
+                "on_result callbacks require serial execution (n_jobs=1): "
+                "RunResult objects do not cross process boundaries"
+            )
+        setup = ReplicationSetup(simulator, rewards, traces_factory, extra_metrics)
+        samples, n_done = run_replications_adaptive(
+            until=until,
+            warmup=warmup,
+            base_seed=simulator.base_seed,
+            counter_base=simulator._run_counter,
+            max_replications=cap,
+            n_jobs=jobs,
+            stopping=stopping,
+            spec=spec,
+            setup=setup,
+            retry=retry,
+            chaos=chaos,
+            serial_fallback=serial_fallback,
+        )
+        simulator._run_counter += n_done
+        return ExperimentResult(samples, until, warmup, confidence)
+
+    samples = {name: [] for name in metrics}
+    n_done = 0
+    while True:
+        round_n = stopping.next_round(n_done, cap)
+        if round_n == 0:
+            break
+        for _ in range(round_n):
+            traces = (
+                tuple(traces_factory()) if traces_factory is not None else ()
+            )
+            result = simulator.run(
+                until, warmup=warmup, rewards=rewards, traces=traces
+            )
+            for name, fn in metrics.items():
+                samples[name].append(float(fn(result)))
+            if on_result is not None:
+                on_result(n_done, result)
+            n_done += 1
+        if stopping.satisfied(samples):
+            break
     return ExperimentResult(samples, until, warmup, confidence)

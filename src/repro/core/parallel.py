@@ -61,6 +61,7 @@ __all__ = [
     "build_setup_cached",
     "pool_context",
     "resolve_n_jobs",
+    "run_replications_adaptive",
     "run_replications_parallel",
 ]
 
@@ -412,3 +413,67 @@ def run_replications_parallel(
         for name, value in metric_values.items():
             samples[name].append(value)
     return samples
+
+
+def run_replications_adaptive(
+    *,
+    until: float,
+    warmup: float,
+    base_seed: int,
+    counter_base: int,
+    max_replications: int,
+    n_jobs: int,
+    stopping,
+    spec: ReplicationSpec | None = None,
+    setup: ReplicationSetup | None = None,
+    retry: RetryPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
+    serial_fallback: bool = True,
+) -> tuple[dict[str, list[float]], int]:
+    """Sequentially-stopped replication scheduling over supervised pools.
+
+    The dynamic work queue behind ``replicate_runs(..., stopping=...)``
+    with ``n_jobs > 1``: replication *rounds* sized by the rule's
+    deterministic schedule (:class:`~repro.core.stopping.StoppingRule`)
+    are dispatched through :func:`run_replications_parallel` — the same
+    supervised chunking, crash recovery, retry, and chaos machinery as a
+    fixed-count study — until the watched metrics reach the rule's
+    relative-CI target or ``max_replications`` is exhausted.  Returns
+    ``(samples, n_executed)``.
+
+    Replication ``k`` always draws from seed-tree stream ``k`` and the
+    round boundaries depend only on ``(rule, n_done, cap)``, so the
+    stopping point and every sample are float-identical to a serial
+    sequentially-stopped run, for any ``n_jobs`` and after any
+    crash/retry recovery.  Each round submits a fresh supervised pool;
+    under ``fork`` with a pre-seeded setup cache the workers inherit the
+    compiled program, so per-round pool start-up stays cheap relative
+    to the replications it buys.
+    """
+    samples: dict[str, list[float]] = {}
+    n_done = 0
+    while True:
+        round_n = stopping.next_round(n_done, max_replications)
+        if round_n == 0:
+            break
+        batch = run_replications_parallel(
+            until=until,
+            warmup=warmup,
+            base_seed=base_seed,
+            counter_base=counter_base + n_done,
+            n_replications=round_n,
+            n_jobs=min(n_jobs, round_n),
+            spec=spec,
+            setup=setup,
+            retry=retry,
+            chaos=chaos,
+            serial_fallback=serial_fallback,
+        )
+        if not samples:
+            samples = {name: [] for name in batch}
+        for name, values in batch.items():
+            samples[name].extend(values)
+        n_done += round_n
+        if stopping.satisfied(samples):
+            break
+    return samples, n_done

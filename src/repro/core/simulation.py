@@ -211,6 +211,18 @@ class RunResult:
         except KeyError:
             raise KeyError(f"unknown place path {path!r}") from None
 
+    @property
+    def final_marking(self) -> list[int]:
+        """Copy of the final marking vector, in slot order.
+
+        For a run that ``stopped_early`` this is the marking at the stop
+        instant; feed it back through ``Simulator.run(...,
+        initial_marking=...)`` to continue the trajectory from that
+        state (exact for memoryless models — the basis of the restart
+        segments in :mod:`repro.experiments.rare`).
+        """
+        return list(self._final_values)
+
     def trace(self, name: str) -> BinaryTrace | EventTrace:
         """Recorded trace by name."""
         try:
@@ -999,6 +1011,7 @@ class Simulator:
         seed: int | None = None,
         rng: np.random.Generator | None = None,
         stop_predicate: Callable[[LocalView], bool] | None = None,
+        initial_marking: Sequence[int] | None = None,
     ) -> RunResult:
         """Simulate one trajectory on ``[0, until]`` hours.
 
@@ -1017,6 +1030,18 @@ class Simulator:
         stop_predicate:
             Optional early-stop condition evaluated on the global view
             after each event.
+        initial_marking:
+            Optional marking vector (slot order, e.g. a prior run's
+            ``RunResult.final_marking``) to start from instead of the
+            model's initial marking.  Every activity's enabling is then
+            re-derived from the given marking (the compile-time
+            initially-enabled tables only describe the model's own
+            initial marking); for memoryless (exponential) models this
+            makes ``run`` a restart-from-state primitive — the sampled
+            continuation is distributed exactly as the suspended
+            trajectory (used by the importance-splitting estimator in
+            :mod:`repro.experiments.rare`).  Default ``None`` leaves the
+            initialization path byte-identical to previous releases.
         """
         if until <= 0.0:
             raise SimulationError(f"until must be positive, got {until}")
@@ -1037,7 +1062,18 @@ class Simulator:
             p._reset_discovered_deps()
         model = self.model
         vector = c.vector
-        vector.reset(model.initial)
+        if initial_marking is None:
+            vector.reset(model.initial)
+        else:
+            init_values = [int(v) for v in initial_marking]
+            if len(init_values) != len(model.initial):
+                raise SimulationError(
+                    f"initial_marking has {len(init_values)} entries, "
+                    f"model has {len(model.initial)} places"
+                )
+            if any(v < 0 for v in init_values):
+                raise SimulationError("initial_marking entries must be >= 0")
+            vector.reset(init_values)
         for reset_sampler in c.batched:
             reset_sampler()
 
@@ -1902,23 +1938,37 @@ class Simulator:
         # is identical, so trajectories are unchanged.  The loop mirrors
         # update_timed for a fresh (token 0, enabled) activity, horizon
         # filter included.
-        for aid in c.init_timed:
-            token[aid] = 1
-            sampler = samplers[aid]
-            delay = sampler(rng) if sampler is not None else dyn_sample(aid)
-            if delay <= until:
-                heap.append((delay, seq, aid, 1))
-            seq += 1
-        heapq.heapify(heap)
-        if has_instants:
-            for aid, en in c.init_instants:
-                enabled_instant[aid] = en
-                if en:
-                    inst_enabled.add(aid)
-            settle([])
-            # discard observer touches from the t=0 fixpoint: every
-            # observer is evaluated fresh below.  Bump the epoch so the
-            # stale stamps cannot suppress the first event's touches.
+        if initial_marking is None:
+            for aid in c.init_timed:
+                token[aid] = 1
+                sampler = samplers[aid]
+                delay = sampler(rng) if sampler is not None else dyn_sample(aid)
+                if delay <= until:
+                    heap.append((delay, seq, aid, 1))
+                seq += 1
+            heapq.heapify(heap)
+            if has_instants:
+                for aid, en in c.init_instants:
+                    enabled_instant[aid] = en
+                    if en:
+                        inst_enabled.add(aid)
+                settle([])
+                # discard observer touches from the t=0 fixpoint: every
+                # observer is evaluated fresh below.  Bump the epoch so
+                # the stale stamps cannot suppress the first event's
+                # touches.
+                del touched_r[:]
+                del touched_t[:]
+                obs_epoch += 1
+        else:
+            # Restart from a caller-supplied marking: the compile-time
+            # tables describe the model's own initial marking only, so
+            # every activity's enabling is re-derived here through
+            # settle() — ascending-id predicate evaluation, the same
+            # draw order the precomputed loop uses, followed by the
+            # instantaneous fixpoint.  heappush instead of heapify only
+            # changes the heap's internal layout, never the pop order.
+            settle(list(range(n_acts)))
             del touched_r[:]
             del touched_t[:]
             obs_epoch += 1

@@ -29,6 +29,18 @@ from .runner import (
     TableResult,
     format_cell_failures,
 )
+from .rare import (
+    LevelFunction,
+    RareEventEstimate,
+    SplittingPolicy,
+    aggregate_tier_san,
+    brute_force_probability,
+    splitting_probability,
+    suggested_splits,
+    tier_level,
+    tier_replication_spec,
+    tier_splitting_policy,
+)
 from .sweep import SweepCell, SweepResult, cell_digest, replication_cell, run_sweep
 from .table1 import Table1Result, run_table1, table1_cell
 from .table2 import Table2Result, run_table2, table2_cell
@@ -73,6 +85,16 @@ __all__ = [
     "FigureResult",
     "Series",
     "SeriesPoint",
+    "LevelFunction",
+    "SplittingPolicy",
+    "RareEventEstimate",
+    "splitting_probability",
+    "brute_force_probability",
+    "aggregate_tier_san",
+    "tier_level",
+    "tier_splitting_policy",
+    "tier_replication_spec",
+    "suggested_splits",
 ]
 
 

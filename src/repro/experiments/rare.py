@@ -1,0 +1,781 @@
+"""Rare-event estimation: RESTART importance splitting over level functions.
+
+The paper's deep-tail quantities — a petascale tier's probability of
+data loss within a mission time — sit far below what fixed-count brute
+replication can resolve: at :math:`p \\approx 10^{-7}` a thousand
+replications almost surely observe zero events.  This module makes such
+probabilities estimable with **RESTART-style importance splitting**: a
+declared :class:`LevelFunction` maps the marking to a degradation level
+(e.g. failed disks in a tier), a :class:`SplittingPolicy` places
+thresholds between the initial state and the rare set, and trajectories
+are *split* into retrials whenever they cross a threshold upward
+(weight divided among the offspring) and retrials are *killed* when
+they fall back below their birth threshold.  Paths that drift toward
+the rare set are therefore multiplied while their statistical weight is
+conserved, which concentrates simulation effort exactly where the rare
+event lives.
+
+Estimator contract
+------------------
+* **Unbiased**: an up-crossing through thresholds ``s..s'-1`` with
+  splitting factors ``R_j`` spawns ``F = prod R_j`` branches of weight
+  ``w / F`` (weight conservation, property-tested); a branch reaching
+  the top threshold contributes its weight; killed retrials contribute
+  nothing, and the surviving original re-splits on every later upward
+  crossing — classical RESTART, whose estimator
+  ``p_hat = mean_k(sum of weights hitting the top in tree k)`` is
+  unbiased for ``P(level reaches top before the horizon)``.
+* **Exact restarts**: branches continue from the parent's stopped
+  marking via ``Simulator.run(..., initial_marking=...)``.  For
+  memoryless (exponential, ``reactivate=True``) models the continuation
+  is distributed exactly as the suspended trajectory, which is also the
+  regime where the :mod:`repro.markov` closed forms apply — the
+  statistical acceptance suite (``tests/test_rare_stats.py``) checks
+  splitting and crude estimates against
+  :class:`~repro.markov.raid_markov.RAIDTierMarkov` transients.
+* **Deterministic**: the branch at tree path ``path`` of root ``k``
+  draws from seed-tree stream ``(base_seed, "rare", k, *path)`` — a
+  pure function of its position, never of execution order — so any
+  split schedule is reproducible and serial == parallel bit-for-bit
+  (roots are scheduled over the same supervised pools as replications).
+
+Crude Monte Carlo is the degenerate policy with no intermediate
+thresholds (:meth:`SplittingPolicy.crude`); with splitting disabled
+entirely, :func:`brute_force_probability` routes through
+:func:`~repro.core.experiment.replicate_runs` unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.errors import SimulationError
+from ..core.experiment import Estimate, replicate_runs
+from ..core.parallel import (
+    ReplicationSetup,
+    ReplicationSpec,
+    build_setup_cached,
+    pool_context,
+    resolve_n_jobs,
+)
+from ..core.resilience import ChaosPolicy, RetryPolicy, run_tasks_supervised
+from ..core.rng import make_generator
+from ..core.stopping import StoppingRule
+
+__all__ = [
+    "LevelFunction",
+    "SplittingPolicy",
+    "RareEventEstimate",
+    "splitting_probability",
+    "brute_force_probability",
+    "child_weights",
+    "aggregate_tier_san",
+    "tier_setup_factory",
+    "tier_replication_spec",
+    "tier_level",
+    "tier_splitting_policy",
+    "suggested_splits",
+]
+
+
+# ----------------------------------------------------------------------
+# level functions and policies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LevelFunction:
+    """A monotone degradation level over the marking.
+
+    ``level(marking) = sum(weight * tokens(place))`` over the declared
+    places.  Weights must be strictly positive so the level is monotone
+    in every degradation token — the importance-splitting correctness
+    argument needs "more tokens = closer to the rare set", and a
+    non-positive weight would silently invert a dimension.  Violations
+    raise :class:`~repro.core.errors.SimulationError` at construction.
+
+    Parameters
+    ----------
+    name:
+        Label used in diagnostics and results.
+    places:
+        ``{place_path: weight}`` mapping (or an iterable of paths, all
+        weighted 1.0).  Paths are resolved against the flattened model
+        when the estimator compiles the policy.
+    """
+
+    name: str
+    places: tuple[tuple[str, float], ...]
+
+    def __init__(
+        self,
+        name: str,
+        places: Mapping[str, float] | Sequence[str],
+    ) -> None:
+        if isinstance(places, Mapping):
+            items = tuple((str(p), float(w)) for p, w in places.items())
+        else:
+            items = tuple((str(p), 1.0) for p in places)
+        if not items:
+            raise SimulationError(
+                f"level function {name!r} declares no places"
+            )
+        seen = set()
+        for path, weight in items:
+            if path in seen:
+                raise SimulationError(
+                    f"level function {name!r}: duplicate place {path!r}"
+                )
+            seen.add(path)
+            if not math.isfinite(weight) or weight <= 0.0:
+                raise SimulationError(
+                    f"level function {name!r}: weight for {path!r} must be "
+                    f"a positive finite number, got {weight!r} (levels must "
+                    "be monotone in every degradation token)"
+                )
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "places", items)
+
+    def resolve(self, model) -> Callable[[Sequence[int]], float]:
+        """Compile an evaluator over slot-indexed marking vectors."""
+        pairs = []
+        for path, weight in self.places:
+            try:
+                pairs.append((model.paths[path], weight))
+            except KeyError:
+                raise SimulationError(
+                    f"level function {self.name!r}: unknown place "
+                    f"{path!r}; available: {sorted(model.paths)}"
+                ) from None
+        pairs = tuple(pairs)
+
+        def value(values, _pairs=pairs):
+            total = 0.0
+            for slot, weight in _pairs:
+                total += weight * values[slot]
+            return total
+
+        return value
+
+
+@dataclass(frozen=True)
+class SplittingPolicy:
+    """Thresholds and splitting factors for a :class:`LevelFunction`.
+
+    ``thresholds`` must be strictly increasing; reaching
+    ``thresholds[-1]`` *is* the rare event.  ``splits[j]`` is the
+    RESTART splitting factor applied on upward crossings of
+    ``thresholds[j]`` — one entry per threshold except the last (the
+    top is absorbing for the estimator, nothing splits there), each an
+    integer >= 1.  ``SplittingPolicy(level, (top,),())`` is crude Monte
+    Carlo with early stopping at the event.
+    """
+
+    level: LevelFunction
+    thresholds: tuple[float, ...]
+    splits: tuple[int, ...] = ()
+    max_segments: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "thresholds", tuple(float(t) for t in self.thresholds)
+        )
+        object.__setattr__(self, "splits", tuple(int(r) for r in self.splits))
+        if not self.thresholds:
+            raise SimulationError("splitting policy needs >= 1 threshold")
+        for lo, hi in zip(self.thresholds, self.thresholds[1:]):
+            if not lo < hi:
+                raise SimulationError(
+                    f"thresholds must be strictly increasing, got "
+                    f"{self.thresholds}"
+                )
+        if len(self.splits) != len(self.thresholds) - 1:
+            raise SimulationError(
+                f"need one splitting factor per threshold below the top: "
+                f"{len(self.thresholds)} thresholds require "
+                f"{len(self.thresholds) - 1} factors, got {len(self.splits)}"
+            )
+        if any(r < 1 for r in self.splits):
+            raise SimulationError(
+                f"splitting factors must be >= 1, got {self.splits}"
+            )
+        if self.max_segments < 1:
+            raise SimulationError(
+                f"max_segments must be >= 1, got {self.max_segments}"
+            )
+
+    def crude(self) -> "SplittingPolicy":
+        """The no-splitting policy for the same event (crude MC)."""
+        return SplittingPolicy(
+            self.level, (self.thresholds[-1],), (), self.max_segments
+        )
+
+
+def child_weights(weight: float, factor: int) -> list[float]:
+    """Offspring weights for one split: ``factor`` copies of ``w/factor``.
+
+    Conserves the parent's expected weight (``sum == weight`` up to
+    float rounding) — the invariant the unbiasedness of the RESTART
+    estimator rests on (region weights satisfy exactly this relation at
+    every up-crossing: ``prod(R) * W(b') == W(b)``), property-tested in
+    ``tests/test_stopping_properties.py``.
+    """
+    if factor < 1:
+        raise SimulationError(f"splitting factor must be >= 1, got {factor}")
+    return [weight / factor] * factor
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RareEventEstimate:
+    """Probability estimate from a rare-event study.
+
+    ``samples[k]`` is root ``k``'s contribution (total weight that
+    reached the top level in its splitting tree; a 0/1 indicator for
+    crude MC), so ``probability`` is their mean and the CI is the
+    ordinary Student-t interval over i.i.d. roots.
+    """
+
+    probability: float
+    half_width: float
+    confidence: float
+    n_roots: int
+    n_hits: int
+    n_segments: int
+    samples: tuple[float, ...]
+    method: str
+
+    @property
+    def rel_half_width(self) -> float:
+        """Half-width relative to the point estimate (inf at zero)."""
+        if self.probability == 0.0:
+            return float("inf")
+        return self.half_width / abs(self.probability)
+
+    def estimate(self) -> Estimate:
+        """The underlying Student-t :class:`~repro.core.experiment.Estimate`."""
+        return Estimate.from_samples(self.samples, self.confidence)
+
+    def __str__(self) -> str:
+        return (
+            f"p = {self.probability:.4g} ± {self.half_width:.2g} "
+            f"({int(self.confidence * 100)}% CI, {self.n_roots} roots, "
+            f"{self.n_hits} hits, {self.n_segments} segments, {self.method})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the RESTART tree
+# ----------------------------------------------------------------------
+def _make_stop_predicate(level_fn, up: float, down: float | None):
+    """Segment stop: level reaches ``up``, or falls below ``down``."""
+    if down is None:
+
+        def pred(m, _fn=level_fn, _up=up):
+            return _fn(m.raw) >= _up
+
+    else:
+
+        def pred(m, _fn=level_fn, _up=up, _down=down):
+            lvl = _fn(m.raw)
+            return lvl >= _up or lvl < _down
+
+    return pred
+
+
+def _run_root_tree(
+    simulator,
+    level_fn,
+    policy: SplittingPolicy,
+    horizon: float,
+    base_seed: int,
+    k: int,
+) -> tuple[float, int, int]:
+    """One root replication's full splitting tree.
+
+    Returns ``(weight_hitting_top, n_segments, n_hits)``.  The tree is
+    walked depth-first with an explicit stack; each segment's RNG
+    stream is ``(base_seed, "rare", k, *path)`` where ``path`` encodes
+    its position (child index at splits, ``-1`` for a downward
+    continuation), so the whole tree is a pure function of ``k``.
+
+    Weights are *region-determined*, the classical RESTART accounting:
+    every branch in bracket ``b`` carries ``W(b) = 1 / prod(R_j, j < b)``
+    (relative to the root's starting bracket).  An up-crossing into
+    bracket ``b'`` splits into ``prod(R_j, b <= j < b')`` branches of
+    weight ``W(b')``; a *surviving* down-crossing restores the branch to
+    the lower region's larger weight.  The restoration is load-bearing:
+    with lineage-multiplied weights the kill rule (retrials die below
+    their birth threshold) strictly loses probability mass and the
+    estimator is biased low, whereas region weights make the expected
+    number of branches in region ``b`` exactly ``1/W(b)`` times the
+    crude occupancy (excursions above a threshold are regenerated
+    ``R_j``-fold each time the surviving branch re-crosses it), so
+    ``E[sum of hit weights] = P(top before horizon)`` exactly.
+    """
+    thresholds = policy.thresholds
+    splits = policy.splits
+    top = len(thresholds)
+
+    level0 = level_fn(simulator.model.initial)
+    bracket0 = bisect_right(thresholds, level0)
+    if bracket0 >= top:
+        raise SimulationError(
+            f"initial marking already at the top level "
+            f"({policy.level.name} = {level0} >= {thresholds[-1]})"
+        )
+    # Region weights, relative to the root's bracket.
+    region_w = [1.0] * top  # brackets 0..top-1; no branch lives at top
+    for b in range(bracket0 + 1, top):
+        region_w[b] = region_w[b - 1] / splits[b - 1]
+
+    # (marking, t0, bracket, kill_bracket, path); marking None means
+    # the model's own initial marking.
+    stack = [(None, 0.0, bracket0, 0, ())]
+    hit_weight = 0.0
+    n_segments = 0
+    n_hits = 0
+    while stack:
+        marking, t0, bracket, kill, path = stack.pop()
+        remaining = horizon - t0
+        if remaining <= 0.0:
+            continue
+        n_segments += 1
+        if n_segments > policy.max_segments:
+            raise SimulationError(
+                f"splitting tree for root {k} exceeded max_segments="
+                f"{policy.max_segments}; lower the splitting factors or "
+                "raise SplittingPolicy.max_segments"
+            )
+        pred = _make_stop_predicate(
+            level_fn,
+            thresholds[bracket],
+            thresholds[bracket - 1] if bracket > 0 else None,
+        )
+        rng = make_generator(base_seed, "rare", k, *path)
+        result = simulator.run(
+            remaining,
+            rng=rng,
+            stop_predicate=pred,
+            initial_marking=marking,
+        )
+        if not result.stopped_early:
+            continue  # horizon reached below the top: contributes 0
+        final = result.final_marking
+        level = level_fn(final)
+        new_bracket = bisect_right(thresholds, level)
+        t1 = t0 + result.final_time
+        if new_bracket > bracket:
+            if new_bracket >= top:
+                # A jump straight through the remaining thresholds would
+                # split at each and land every offspring in the top
+                # region, so the contribution is the full region weight
+                # of the crossing segment.
+                hit_weight += region_w[bracket]
+                n_hits += 1
+                continue
+            radices = splits[bracket:new_bracket]
+            factor = 1
+            for r in radices:
+                factor *= r
+            # Child i's kill bracket comes from the sequential-split
+            # picture of a multi-threshold jump: decompose i in mixed
+            # radix (most significant digit = the lowest threshold
+            # crossed); a retrial spawned at threshold j dies below
+            # bracket j+1, and the highest nonzero digit names the
+            # spawning threshold.  Child 0 is the continuing original
+            # and inherits the ancestor kill bracket.  Reversed push so
+            # child 0 pops first; the order is fixed purely for
+            # reproducible accounting.
+            for i in reversed(range(factor)):
+                kill_i = kill
+                rem = i
+                for idx in range(len(radices) - 1, -1, -1):
+                    digit = rem % radices[idx]
+                    rem //= radices[idx]
+                    if digit != 0:
+                        kill_i = bracket + idx + 1
+                        break
+                stack.append((final, t1, new_bracket, kill_i, path + (i,)))
+        else:
+            # Downward crossing.  Retrials die below their birth
+            # threshold; survivors continue at the lower bracket's
+            # restored weight and re-split on any later upward crossing
+            # (classical RESTART resplitting — this regeneration is
+            # what keeps the killed retrials from biasing the
+            # estimator).
+            if new_bracket < kill:
+                continue
+            stack.append((final, t1, new_bracket, kill, path + (-1,)))
+    return hit_weight, n_segments, n_hits
+
+
+def _splitting_chunk(payload: tuple) -> list[tuple[int, float, int, int]]:
+    """Supervised worker entry: a contiguous chunk of root trees."""
+    spec, horizon, policy, base_seed, ks = payload
+    setup, _metrics = build_setup_cached(spec)
+    simulator = setup.simulator
+    level_fn = policy.level.resolve(simulator.model)
+    return [
+        (k, *_run_root_tree(simulator, level_fn, policy, horizon, base_seed, k))
+        for k in ks
+    ]
+
+
+# ----------------------------------------------------------------------
+# public estimators
+# ----------------------------------------------------------------------
+def splitting_probability(
+    source,
+    horizon: float,
+    policy: SplittingPolicy,
+    *,
+    n_roots: int = 256,
+    stopping: StoppingRule | None = None,
+    confidence: float = 0.95,
+    base_seed: int | None = None,
+    n_jobs: int | None = 1,
+    retry: RetryPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
+) -> RareEventEstimate:
+    """Estimate ``P(level reaches the top threshold within horizon)``.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.core.simulation.Simulator`, or a
+        :class:`~repro.core.parallel.ReplicationSpec` (required for
+        ``n_jobs > 1``; workers rebuild/reuse the compiled program via
+        the per-process setup cache).
+    horizon:
+        Mission time in hours.
+    policy:
+        Level function, thresholds and splitting factors.  Pass
+        ``policy.crude()`` for plain Monte Carlo with early stopping.
+    n_roots:
+        Root replications (the cap, when ``stopping`` is given).
+    stopping:
+        Optional :class:`~repro.core.stopping.StoppingRule` over the
+        per-root contributions: roots run in deterministic rounds until
+        the estimate's relative CI half-width reaches the rule's
+        target.  Root ``k`` always derives its tree from streams
+        ``(base_seed, "rare", k, ...)``, so the stopping point is
+        identical for serial, any ``n_jobs``, and resumed runs.
+    base_seed:
+        Root entropy (default: the simulator's own ``base_seed``).
+    n_jobs:
+        Worker processes over root trees (-1 = all cores); results are
+        bit-identical for every value.
+    """
+    if horizon <= 0.0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+    if n_roots < 1:
+        raise SimulationError(f"n_roots must be >= 1, got {n_roots}")
+
+    spec: ReplicationSpec | None = None
+    if isinstance(source, ReplicationSpec):
+        spec = source
+        setup, _metrics = build_setup_cached(spec)
+        simulator = setup.simulator
+    else:
+        simulator = source
+    if base_seed is None:
+        base_seed = simulator.base_seed
+    jobs = resolve_n_jobs(n_jobs)
+    if jobs > 1 and spec is None:
+        raise SimulationError(
+            "parallel splitting requires a ReplicationSpec source (worker "
+            "processes rebuild the model from the picklable recipe); pass "
+            "the spec, or n_jobs=1"
+        )
+    level_fn = policy.level.resolve(simulator.model)
+
+    samples: list[float] = []
+    n_segments = 0
+    n_hits = 0
+
+    def run_roots(k0: int, count: int) -> None:
+        nonlocal n_segments, n_hits
+        if jobs > 1 and count > 1:
+            ks = range(k0, k0 + count)
+            chunk = max(1, count // (min(jobs, count) * 4))
+            chunks = [tuple(ks[i : i + chunk]) for i in range(0, count, chunk)]
+            tasks = [
+                (("rare", c[0], c[-1]), (spec, horizon, policy, base_seed, c))
+                for c in chunks
+            ]
+            outcomes = run_tasks_supervised(
+                tasks,
+                _splitting_chunk,
+                n_jobs=min(jobs, len(chunks)),
+                mp_context=pool_context(),
+                retry=retry,
+                chaos=chaos,
+                on_error="raise",
+                label="splitting chunk",
+            )
+            results = [
+                item for key, _payload in tasks for item in outcomes[key]
+            ]
+            results.sort(key=lambda item: item[0])
+            for _k, weight, segs, hits in results:
+                samples.append(weight)
+                n_segments += segs
+                n_hits += hits
+        else:
+            for k in range(k0, k0 + count):
+                weight, segs, hits = _run_root_tree(
+                    simulator, level_fn, policy, horizon, base_seed, k
+                )
+                samples.append(weight)
+                n_segments += segs
+                n_hits += hits
+
+    if stopping is None:
+        run_roots(0, n_roots)
+    else:
+        n_done = 0
+        while True:
+            round_n = stopping.next_round(n_done, n_roots)
+            if round_n == 0:
+                break
+            run_roots(n_done, round_n)
+            n_done += round_n
+            if stopping.satisfied({"probability": samples}):
+                break
+
+    est = Estimate.from_samples(samples, confidence)
+    return RareEventEstimate(
+        probability=est.mean,
+        half_width=est.half_width,
+        confidence=confidence,
+        n_roots=len(samples),
+        n_hits=n_hits,
+        n_segments=n_segments,
+        samples=tuple(samples),
+        method=(
+            "crude" if len(policy.thresholds) == 1 else
+            f"splitting[{len(policy.thresholds)} levels]"
+        ),
+    )
+
+
+def brute_force_probability(
+    simulator,
+    horizon: float,
+    level: LevelFunction,
+    threshold: float,
+    *,
+    n_replications: int,
+    stopping: StoppingRule | None = None,
+    confidence: float = 0.95,
+    n_jobs: int | None = 1,
+) -> RareEventEstimate:
+    """Fixed-budget brute-force estimate through ``replicate_runs``.
+
+    Each replication runs the model to the horizon and scores the
+    indicator ``level(final marking) >= threshold`` — valid when the
+    event is *sticky* (an absorbing loss place keeps the level up, as
+    in :func:`aggregate_tier_san`).  This is literally
+    :func:`~repro.core.experiment.replicate_runs` with one extra
+    metric: with ``stopping=None`` the replication streams, counts and
+    samples are byte-identical to a plain ``replicate_runs`` call — the
+    differential tests pin that equivalence — so "splitting disabled"
+    costs nothing over the estimator the repo always had.
+    """
+    level_fn = level.resolve(simulator.model)
+    metric = {
+        "rare_event": lambda res, _fn=level_fn, _thr=float(threshold): (
+            1.0 if _fn(res._final_values) >= _thr else 0.0
+        )
+    }
+    experiment = replicate_runs(
+        simulator,
+        horizon,
+        n_replications=n_replications,
+        extra_metrics=metric,
+        confidence=confidence,
+        n_jobs=n_jobs,
+        stopping=stopping,
+    )
+    samples = experiment.samples("rare_event")
+    est = Estimate.from_samples(samples, confidence)
+    return RareEventEstimate(
+        probability=est.mean,
+        half_width=est.half_width,
+        confidence=confidence,
+        n_roots=len(samples),
+        n_hits=int(sum(samples)),
+        n_segments=len(samples),
+        samples=tuple(samples),
+        method="brute-force",
+    )
+
+
+# ----------------------------------------------------------------------
+# the aggregate RAID-tier twin (the acceptance suite's workhorse)
+# ----------------------------------------------------------------------
+def aggregate_tier_san(
+    n_disks: int,
+    fault_tolerance: int,
+    disk_failure_rate: float,
+    disk_repair_rate: float,
+):
+    """Aggregate birth-death SAN twin of ``RAIDTierMarkov.absorbing_chain``.
+
+    Places ``tier/failed`` (concurrently failed disks) and ``tier/lost``
+    (sticky data-loss flag); exponential failure at marking-dependent
+    rate ``(n - failed) * lambda`` and repair at ``failed * mu``, both
+    ``reactivate=True``, so the SAN is a CTMC identical state-for-state
+    to :meth:`~repro.markov.raid_markov.RAIDTierMarkov.absorbing_chain`
+    — the closed-form transient is the *exact* distribution of the
+    simulated loss time, which is what lets the statistical acceptance
+    suite test the rare-event estimators against truth.
+    """
+    from ..core import SAN, Exponential, flatten
+
+    n = int(n_disks)
+    f = int(fault_tolerance)
+    lam = float(disk_failure_rate)
+    mu = float(disk_repair_rate)
+    if not 1 <= f < n:
+        raise SimulationError(
+            f"fault tolerance must be in [1, n_disks), got {f} of {n}"
+        )
+    if min(lam, mu) <= 0.0:
+        raise SimulationError("failure and repair rates must be positive")
+
+    san = SAN("tier")
+    san.place("failed", 0)
+    san.place("lost", 0)
+    san.timed(
+        "fail",
+        lambda m: Exponential((n - m["failed"]) * lam),
+        enabled=lambda m: m["failed"] <= f and m["lost"] == 0,
+        effect=lambda m, rng: m.__setitem__("failed", m["failed"] + 1),
+        reads=["failed", "lost"],
+        reactivate=True,
+    )
+    san.timed(
+        "repair",
+        lambda m: Exponential(m["failed"] * mu),
+        enabled=lambda m: 1 <= m["failed"] <= f and m["lost"] == 0,
+        effect=lambda m, rng: m.__setitem__("failed", m["failed"] - 1),
+        reads=["failed", "lost"],
+        reactivate=True,
+    )
+    san.instant(
+        "lose",
+        enabled=lambda m: m["failed"] == f + 1 and m["lost"] == 0,
+        effect=lambda m, rng: m.__setitem__("lost", 1),
+        reads=["failed", "lost"],
+    )
+    return flatten(san)
+
+
+def tier_setup_factory(
+    n_disks: int,
+    fault_tolerance: int,
+    disk_failure_rate: float,
+    disk_repair_rate: float,
+    base_seed: int,
+) -> ReplicationSetup:
+    """Module-level setup factory so tier studies parallelize (spec mode)."""
+    from ..core import RateReward, Simulator
+
+    model = aggregate_tier_san(
+        n_disks, fault_tolerance, disk_failure_rate, disk_repair_rate
+    )
+    simulator = Simulator(model, base_seed=base_seed)
+    rewards = [
+        RateReward(
+            "lost", lambda m: float(m["tier/lost"]), reads=["tier/lost"]
+        )
+    ]
+    return ReplicationSetup(simulator, rewards)
+
+
+def tier_replication_spec(
+    n_disks: int,
+    fault_tolerance: int,
+    disk_failure_rate: float,
+    disk_repair_rate: float,
+    base_seed: int,
+) -> ReplicationSpec:
+    """Picklable recipe for :func:`tier_setup_factory` workers."""
+    return ReplicationSpec(
+        tier_setup_factory,
+        (
+            int(n_disks),
+            int(fault_tolerance),
+            float(disk_failure_rate),
+            float(disk_repair_rate),
+            int(base_seed),
+        ),
+    )
+
+
+def tier_level() -> LevelFunction:
+    """Degradation level of the aggregate tier: failed disks + loss flag.
+
+    The sticky ``lost`` place is weighted so the level stays at the top
+    once the tier is lost even though repairs are frozen — the event is
+    absorbing for both estimators.
+    """
+    return LevelFunction("tier-degradation", {"tier/failed": 1.0})
+
+
+def suggested_splits(
+    n_disks: int,
+    fault_tolerance: int,
+    disk_failure_rate: float,
+    disk_repair_rate: float,
+    cap: int = 32,
+) -> tuple[int, ...]:
+    """Near-optimal splitting factors for the aggregate tier.
+
+    RESTART effort is balanced when each factor approximates the
+    inverse of its stage's conditional up-probability; for the tier's
+    birth-death dynamics the probability of a (j+1)-th failure before a
+    repair from ``j`` failed disks is
+    ``(n-j)·lambda / ((n-j)·lambda + j·mu)``.  Factors are rounded and
+    clipped to ``[1, cap]`` to bound the branching.
+    """
+    lam = float(disk_failure_rate)
+    mu = float(disk_repair_rate)
+    factors = []
+    for j in range(1, int(fault_tolerance) + 1):
+        up = (n_disks - j) * lam
+        p_up = up / (up + j * mu)
+        factors.append(max(1, min(int(cap), round(1.0 / p_up))))
+    return tuple(factors)
+
+
+def tier_splitting_policy(
+    n_disks: int,
+    fault_tolerance: int,
+    disk_failure_rate: float,
+    disk_repair_rate: float,
+    *,
+    splits: Sequence[int] | None = None,
+    max_segments: int = 1_000_000,
+) -> SplittingPolicy:
+    """Splitting policy for the aggregate tier: one level per failed disk.
+
+    Thresholds sit at 1..f+1 concurrently failed disks (the top is data
+    loss); ``splits`` defaults to :func:`suggested_splits`.
+    """
+    f = int(fault_tolerance)
+    if splits is None:
+        splits = suggested_splits(
+            n_disks, f, disk_failure_rate, disk_repair_rate
+        )
+    return SplittingPolicy(
+        tier_level(),
+        tuple(float(j) for j in range(1, f + 2)),
+        tuple(splits),
+        max_segments,
+    )

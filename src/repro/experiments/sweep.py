@@ -181,6 +181,7 @@ def _run_replication_cell(
     warmup: float,
     confidence: float,
     n_jobs: int = 1,
+    stopping=None,
 ) -> ExperimentResult:
     """Execute one replication-study cell (in whatever process hosts it).
 
@@ -208,6 +209,7 @@ def _run_replication_cell(
         confidence=confidence,
         n_jobs=n_jobs,
         spec=spec if n_jobs != 1 else None,
+        stopping=stopping,
     )
 
 
@@ -220,6 +222,7 @@ def replication_cell(
     warmup: float = 0.0,
     confidence: float = 0.95,
     n_jobs: int = 1,
+    stopping=None,
 ) -> SweepCell:
     """Build the standard cell: one replicated study from a picklable spec.
 
@@ -229,7 +232,20 @@ def replication_cell(
     the cell (default serial): useful when a grid has fewer cells than
     the host has cores (e.g. the 3-cell ``calibrate`` command), since
     cell-level scheduling alone cannot use the spare workers.
+
+    ``stopping`` (a :class:`~repro.core.stopping.StoppingRule`) makes
+    the cell adaptive: replications run in deterministic rounds until
+    the watched metrics' relative CI half-widths reach the rule's
+    target, with ``n_replications`` as the cap.  The stopping point is
+    a pure function of the cell's samples, so the cell stays
+    bit-identical however it is scheduled, and its digest still
+    excludes only the inner worker split.  The kwarg is added to the
+    cell only when set, so grids without a rule keep their existing
+    checkpoint digests (resume compatibility across versions).
     """
+    kwargs: dict[str, object] = {"n_jobs": int(n_jobs)}
+    if stopping is not None:
+        kwargs["stopping"] = stopping
     return SweepCell(
         key,
         _run_replication_cell,
@@ -240,7 +256,7 @@ def replication_cell(
             float(warmup),
             float(confidence),
         ),
-        {"n_jobs": int(n_jobs)},
+        kwargs,
         inner_jobs_arg="n_jobs",
     )
 

@@ -42,6 +42,8 @@ from repro.core.distributions import (
 
 from _helpers import build_fleet_node
 
+pytestmark = pytest.mark.slow
+
 BATCHABLE_LAWS = [
     Exponential(0.31),
     Uniform(0.5, 7.5),

@@ -40,6 +40,8 @@ from repro.core import (
     replicate,
 )
 
+pytestmark = pytest.mark.slow
+
 
 def _case_fleet(n_units, fail_rate, repair_rate, p1, p2, annotate):
     """Replicated units whose failure draws a three-way propagation coin

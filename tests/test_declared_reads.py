@@ -34,6 +34,8 @@ from repro.core import (
     replicate_runs,
 )
 
+pytestmark = pytest.mark.slow
+
 
 def build_fleet(n_units, fail_rate, repair_mean, threshold, declare: bool):
     """Random repairable fleet + alarm watcher + reactivating sensor.

@@ -34,6 +34,8 @@ from repro.core import (
     replicate,
 )
 
+pytestmark = pytest.mark.slow
+
 
 def _pair_fleet(n_units, fail_rate, repair_rate, annotate):
     """Replicated fail/repair units over a shared counter, optionally

@@ -40,6 +40,8 @@ from repro.core import (
     replicate_runs,
 )
 
+pytestmark = pytest.mark.slow
+
 
 def build_fleet(n_units, fail_rate, repair_mean, threshold):
     """Repairable fleet with an instantaneous alarm watcher (same shape

@@ -38,6 +38,8 @@ from repro.core import (
 )
 from repro.core.rewards import Affine, Indicator
 
+pytestmark = pytest.mark.slow
+
 GUARD_OPS = ("<", "<=", "==", "!=", ">=", ">")
 
 

@@ -1,0 +1,181 @@
+"""Property tests for the stopping/splitting arithmetic (Hypothesis).
+
+These pin the estimator-level invariants the rare-event subsystem's
+correctness rests on, independent of any model:
+
+* batch-means variance is positive for non-degenerate samples,
+  invariant under shifts (a CI half-width must not depend on the
+  metric's origin), and prefix-stable (appending replications never
+  rewrites already-complete batches — the property that makes the
+  adaptive stopping decision identical under resume);
+* splitting factors conserve expected weight at every up-crossing;
+* the deterministic round schedule tiles the replication budget
+  exactly;
+* malformed level functions and policies are rejected loudly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SimulationError,
+    StoppingRule,
+    batch_means,
+    batch_means_half_width,
+    batch_means_variance,
+)
+from repro.experiments.rare import LevelFunction, SplittingPolicy, child_weights
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def samples_and_batch(draw, min_batches=2):
+    batch = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=min_batches * batch, max_value=60))
+    samples = draw(
+        st.lists(finite_floats, min_size=n, max_size=n)
+    )
+    return samples, batch
+
+
+class TestBatchMeans:
+    @given(samples_and_batch())
+    @settings(max_examples=60, deadline=None)
+    def test_variance_nonnegative_and_finite(self, sb):
+        samples, batch = sb
+        var = batch_means_variance(samples, batch)
+        assert var >= 0.0
+        assert math.isfinite(var)
+
+    @given(samples_and_batch())
+    @settings(max_examples=60, deadline=None)
+    def test_variance_positive_unless_batch_means_equal(self, sb):
+        samples, batch = sb
+        means = batch_means(samples, batch)
+        var = batch_means_variance(samples, batch)
+        if len(set(means.tolist())) > 1:
+            assert var > 0.0
+
+    @given(samples_and_batch(), st.floats(min_value=-1e5, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_variance_shift_invariant(self, sb, shift):
+        samples, batch = sb
+        a = batch_means_variance(samples, batch)
+        b = batch_means_variance([s + shift for s in samples], batch)
+        assert math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-7)
+
+    @given(samples_and_batch(), st.lists(finite_floats, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_stability(self, sb, extra):
+        """Appending samples never changes already-complete batches."""
+        samples, batch = sb
+        before = batch_means(samples, batch)
+        after = batch_means(samples + extra, batch)
+        assert after[: len(before)].tolist() == before.tolist()
+
+    @given(samples_and_batch())
+    @settings(max_examples=40, deadline=None)
+    def test_half_width_scales_with_confidence(self, sb):
+        samples, batch = sb
+        lo = batch_means_half_width(samples, batch, 0.80)
+        hi = batch_means_half_width(samples, batch, 0.99)
+        assert lo <= hi
+
+    def test_too_few_batches_raise(self):
+        with pytest.raises(SimulationError, match="2 complete batches"):
+            batch_means_variance([1.0, 2.0, 3.0], 2)
+
+
+class TestWeightConservation:
+    @given(
+        st.floats(min_value=1e-12, max_value=1.0),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_child_weights_conserve_parent(self, weight, factor):
+        children = child_weights(weight, factor)
+        assert len(children) == factor
+        assert math.isclose(sum(children), weight, rel_tol=1e-12)
+        assert all(c == children[0] for c in children)
+
+    @given(st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_region_weights_telescope(self, splits):
+        """W(b) * prod(R_j, j < b) == 1 for every bracket: the region
+        weights the RESTART tree uses conserve the root's mass."""
+        w = 1.0
+        prod = 1
+        for r in splits:
+            w /= r
+            prod *= r
+            assert math.isclose(w * prod, 1.0, rel_tol=1e-12)
+
+
+class TestPolicyValidation:
+    @given(st.floats(max_value=0.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_nonpositive_weights_rejected(self, weight):
+        with pytest.raises(SimulationError, match="positive finite"):
+            LevelFunction("bad", {"p": weight})
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unsorted_thresholds_rejected(self, thresholds):
+        lf = LevelFunction("l", {"p": 1.0})
+        strictly_increasing = all(
+            a < b for a, b in zip(thresholds, thresholds[1:])
+        )
+        splits = (2,) * (len(thresholds) - 1)
+        if strictly_increasing:
+            SplittingPolicy(lf, tuple(thresholds), splits)
+        else:
+            with pytest.raises(SimulationError, match="strictly increasing"):
+                SplittingPolicy(lf, tuple(thresholds), splits)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_split_count_must_match(self, n_thresholds, n_splits):
+        lf = LevelFunction("l", {"p": 1.0})
+        thresholds = tuple(float(i) for i in range(n_thresholds))
+        splits = (2,) * n_splits
+        if n_splits == n_thresholds - 1:
+            SplittingPolicy(lf, thresholds, splits)
+        else:
+            with pytest.raises(SimulationError, match="one splitting factor"):
+                SplittingPolicy(lf, thresholds, splits)
+
+
+class TestRoundSchedule:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rounds_tile_the_cap_exactly(self, min_reps, batch, cap):
+        rule = StoppingRule(rel_ci=0.1, min_replications=min_reps, batch=batch)
+        n, rounds = 0, []
+        while True:
+            r = rule.next_round(n, cap)
+            if r == 0:
+                break
+            assert r > 0
+            rounds.append(r)
+            n += r
+        assert sum(rounds) == cap
+        assert rounds[0] == min(cap, max(min_reps, 2 * batch))
+        assert all(r == batch for r in rounds[1:-1])
