@@ -11,11 +11,14 @@ Commands
 ``rare``          estimate a tier's deep-tail data-loss probability
                   (RESTART importance splitting vs. brute force, checked
                   against the Markov closed form)
+``lint``          statically check the shipped models' declarations
+                  (see ``docs/robustness.md``, "Model integrity")
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Sequence
@@ -117,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--replications", type=int, default=8)
     p_sim.add_argument("--hours", type=float, default=8760.0)
     p_sim.add_argument("--seed", type=int, default=2008)
+    p_sim.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run one instrumented replication instead of the study: "
+        "every declared read/write is cross-checked against actual "
+        "behavior and violations are reported with full provenance "
+        "(exit 1 when any are found)",
+    )
     add_rel_ci(p_sim)
     add_jobs(p_sim, unit="replications (one study, no grid)")
 
@@ -142,12 +153,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop once the estimate's CI half-width falls below "
         "R x the estimate",
     )
+    def splitting_value(text: str) -> tuple[float, ...]:
+        try:
+            thresholds = tuple(float(x) for x in text.split(","))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"thresholds must be comma-separated numbers, got {text!r}"
+            )
+        for lo, hi in zip(thresholds, thresholds[1:]):
+            if not lo < hi:
+                raise argparse.ArgumentTypeError(
+                    f"thresholds must be strictly increasing, got {text!r}"
+                )
+        return thresholds
+
     p_rare.add_argument(
         "--splitting",
-        action="store_true",
-        help="RESTART importance splitting (one level per concurrently "
-        "failed disk, near-optimal factors); default is crude Monte "
-        "Carlo with early stopping at the loss event",
+        nargs="?",
+        const=True,
+        default=False,
+        type=splitting_value,
+        metavar="T1,T2,...",
+        help="RESTART importance splitting; with no value, one level per "
+        "concurrently failed disk with near-optimal factors, or pass a "
+        "strictly increasing comma-separated threshold ladder ending at "
+        "the loss level (tolerance + 1). Default is crude Monte Carlo "
+        "with early stopping at the loss event",
     )
     p_rare.add_argument("--seed", type=int, default=2008)
     add_jobs(p_rare, unit="root replications (one study, no grid)")
@@ -155,6 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_logs = sub.add_parser("logs", help="synthesize the ABE logs")
     p_logs.add_argument("output_dir")
     p_logs.add_argument("--seed", type=int, default=2013)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically check shipped models' declarations and structure",
+    )
+    p_lint.add_argument(
+        "models",
+        nargs="*",
+        metavar="MODEL",
+        help="models to lint: abe, petascale, petascale-spare, "
+        "abe-storage, petascale-storage (default: all)",
+    )
     return parser
 
 
@@ -292,6 +335,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "petascale-spare": lambda: petascale_parameters().with_spare_oss(1),
     }[args.preset]()
     model = ClusterModel(params, base_seed=args.seed)
+    if args.sanitize:
+        from .core import Simulator
+
+        meas = model.measures
+        sim = Simulator(
+            model.model,
+            base_seed=args.seed,
+            sample_batch=None,
+            engine="sanitize",
+        )
+        traces = meas.traces_factory() if meas.traces_factory else ()
+        import warnings
+
+        with warnings.catch_warnings():
+            # The report below is the user-facing output; the run-level
+            # RuntimeWarning would duplicate it.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = sim.run(args.hours, rewards=meas.rewards, traces=traces)
+        report = result.sanitizer_report
+        print(report.format())
+        return 0 if report.ok else 1
     stopping = _stopping_rule(args.rel_ci)
     result = model.simulate(
         hours=args.hours,
@@ -325,9 +389,26 @@ def _cmd_rare(args: argparse.Namespace) -> int:
     stopping = (
         StoppingRule(rel_ci=args.rel_ci) if args.rel_ci is not None else None
     )
-    policy = tier_splitting_policy(
-        args.disks, args.tolerance, args.fail_rate, args.repair_rate
-    )
+    if isinstance(args.splitting, tuple):
+        # Custom threshold ladder: splitting factors per rung as the
+        # product of the per-disk near-optimal factors the rung spans.
+        from .experiments.rare import SplittingPolicy
+
+        lam, mu = args.fail_rate, args.repair_rate
+        factors = []
+        for lo, hi in zip(args.splitting, args.splitting[1:]):
+            acc = 1.0
+            for j in range(max(1, int(lo)), int(hi)):
+                up = (args.disks - j) * lam
+                acc *= (up + j * mu) / up
+            factors.append(max(1, min(32, round(acc))))
+        policy = SplittingPolicy(
+            tier_level(), args.splitting, tuple(factors)
+        )
+    else:
+        policy = tier_splitting_policy(
+            args.disks, args.tolerance, args.fail_rate, args.repair_rate
+        )
     if args.splitting:
         est = splitting_probability(
             spec, args.hours, policy,
@@ -382,6 +463,44 @@ def _cmd_logs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .cfs import (
+        ClusterModel,
+        StorageModel,
+        abe_parameters,
+        petascale_parameters,
+    )
+    from .core import lint_model
+
+    builders = {
+        "abe": lambda: ClusterModel(abe_parameters()),
+        "petascale": lambda: ClusterModel(petascale_parameters()),
+        "petascale-spare": lambda: ClusterModel(
+            petascale_parameters().with_spare_oss(1)
+        ),
+        "abe-storage": lambda: StorageModel(abe_parameters()),
+        "petascale-storage": lambda: StorageModel(petascale_parameters()),
+    }
+    names = args.models or list(builders)
+    for name in names:
+        if name not in builders:
+            print(
+                f"repro lint: unknown model {name!r} "
+                f"(choose from {', '.join(builders)})",
+                file=sys.stderr,
+            )
+            return 2
+    n_bad = 0
+    for name in names:
+        report = lint_model(builders[name]())
+        print(f"{name:<20} {'clean' if report.ok else 'FINDINGS'}")
+        if not report.ok:
+            n_bad += 1
+            for finding in report.findings:
+                print(f"  - {finding}")
+    return 1 if n_bad else 0
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
     "figures": _cmd_figures,
@@ -390,6 +509,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "logs": _cmd_logs,
     "rare": _cmd_rare,
+    "lint": _cmd_lint,
 }
 
 
@@ -401,6 +521,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     (``--checkpoint-dir``) keeps its journal and resumes on rerun.
     """
     args = build_parser().parse_args(argv)
+    if os.environ.get("REPRO_CHAOS"):
+        # Validate the chaos policy up front: a malformed value would
+        # otherwise surface as a traceback from deep inside the first
+        # supervised pool.
+        from .core.errors import SimulationError
+        from .core.resilience import ChaosPolicy
+
+        try:
+            ChaosPolicy.from_env()
+        except (SimulationError, ValueError, TypeError) as exc:
+            print(
+                f"repro: invalid REPRO_CHAOS value "
+                f"{os.environ['REPRO_CHAOS']!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     try:
         return _COMMANDS[args.command](args)
     except KeyboardInterrupt:

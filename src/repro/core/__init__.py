@@ -48,12 +48,14 @@ from .errors import (
     AnalysisError,
     ChaosError,
     CompositionError,
+    DeclarationError,
     FitError,
     InstantaneousLoopError,
     ModelError,
     ParameterError,
     ParseError,
     ReproError,
+    SanitizerError,
     SimulationBudgetError,
     SimulationError,
     StateSpaceError,
@@ -74,6 +76,13 @@ from .places import LocalView, MarkingVector, Place
 from .rewards import Affine, ImpulseReward, Indicator, RateReward, RewardResult
 from .rng import SeedTree, derive_seed, make_generator
 from .san import SAN, ActivityDef
+from .sanitizer import (
+    LintFinding,
+    LintReport,
+    SanitizerReport,
+    SanitizerViolation,
+    lint_model,
+)
 from .simulation import CompiledProgram, RunResult, Simulator
 from .statespace import StateSpace, explore
 from .stopping import (
@@ -154,7 +163,9 @@ __all__ = [
     "CompositionError",
     "SimulationError",
     "SimulationBudgetError",
+    "DeclarationError",
     "InstantaneousLoopError",
+    "SanitizerError",
     "ChaosError",
     "TaskTimeoutError",
     "StateSpaceError",
@@ -167,4 +178,9 @@ __all__ = [
     "TaskFailure",
     "CellFailure",
     "run_tasks_supervised",
+    "lint_model",
+    "LintFinding",
+    "LintReport",
+    "SanitizerReport",
+    "SanitizerViolation",
 ]

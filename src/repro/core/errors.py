@@ -13,7 +13,9 @@ __all__ = [
     "CompositionError",
     "SimulationError",
     "SimulationBudgetError",
+    "DeclarationError",
     "InstantaneousLoopError",
+    "SanitizerError",
     "ChaosError",
     "TaskTimeoutError",
     "StateSpaceError",
@@ -43,6 +45,20 @@ class CompositionError(ModelError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an invalid state."""
+
+
+class DeclarationError(SimulationError):
+    """A declared dependency (``reads=``/``writes=``/``Case`` writes) was
+    contradicted by the activity's actual behavior.
+
+    Raised when kernel verification observes an effect, gate, or case
+    branch touching the marking differently from its declaration.  The
+    check runs after the Python fallback has already applied the true
+    writes, so the marking is consistent when this propagates; under
+    ``Simulator(verify_every=..., strict=False)`` the simulator catches
+    it, quarantines the offending activity's compiled kernel, and
+    continues on the Python path with a single :class:`RuntimeWarning`.
+    """
 
 
 class InstantaneousLoopError(SimulationError):
@@ -104,6 +120,20 @@ class SimulationBudgetError(SimulationError):
         self.sim_time = sim_time
         self.marking = {} if marking is None else marking
         self.rewards = {} if rewards is None else rewards
+
+
+class SanitizerError(SimulationError):
+    """Strict-mode sanitizer failure.
+
+    Raised at the end of a ``Simulator(sanitize=True, strict=True)`` run
+    when the instrumented execution recorded declaration violations.
+    Carries the full :class:`~repro.core.sanitizer.SanitizerReport` as
+    the ``report`` attribute.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class ChaosError(SimulationError):

@@ -116,8 +116,10 @@ before the specialization existed.
 from __future__ import annotations
 
 import heapq
+import math
 import operator
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -130,7 +132,12 @@ from .distributions import (
     Distribution,
     Exponential,
 )
-from .errors import InstantaneousLoopError, SimulationBudgetError, SimulationError
+from .errors import (
+    DeclarationError,
+    InstantaneousLoopError,
+    SimulationBudgetError,
+    SimulationError,
+)
 from .gates import _noop
 from .places import FrozenView, LocalView
 from .rewards import ImpulseReward, RateReward, RewardResult
@@ -193,6 +200,7 @@ class RunResult:
     rewards: dict[str, RewardResult]
     traces: dict[str, BinaryTrace | EventTrace]
     stopped_early: bool
+    sanitizer_report: "SanitizerReport | None" = None
     _final_values: list[int] = field(default_factory=list, repr=False)
     _paths: dict[str, int] = field(default_factory=dict, repr=False)
 
@@ -874,6 +882,9 @@ class Simulator:
         program: CompiledProgram | None = None,
         max_events: int | None = None,
         max_wall_s: float | None = None,
+        sanitize: bool = False,
+        verify_every: int | None = None,
+        strict: bool = False,
     ) -> None:
         if isinstance(model, CompiledProgram):
             if program is not None and program is not model:
@@ -924,11 +935,24 @@ class Simulator:
             )
         self.max_events = None if max_events is None else int(max_events)
         self.max_wall_s = None if max_wall_s is None else float(max_wall_s)
-        if engine not in ("auto", "reference"):
+        if sanitize:
+            if engine not in ("auto", "sanitize"):
+                raise SimulationError(
+                    f"sanitize=True conflicts with engine={engine!r}"
+                )
+            engine = "sanitize"
+        if engine not in ("auto", "reference", "sanitize"):
             raise SimulationError(
-                f"engine must be 'auto' or 'reference', got {engine!r}"
+                f"engine must be 'auto', 'reference', or 'sanitize', "
+                f"got {engine!r}"
+            )
+        if verify_every is not None and int(verify_every) < 1:
+            raise SimulationError(
+                f"verify_every must be >= 1 or None, got {verify_every}"
             )
         self.engine = engine
+        self.verify_every = None if verify_every is None else int(verify_every)
+        self.strict = bool(strict)
         self._run_counter = 0
         # Fast-path observability (see fastpath_report): which event loop
         # the last run dispatched to, and how many completions applied a
@@ -1055,6 +1079,25 @@ class Simulator:
             else:
                 rng = make_generator(int(seed))
         self._run_counter += 1
+
+        if self.engine == "sanitize":
+            # Instrumented interpreting loop: shadow-tracks every place
+            # access and marking write and cross-checks declarations on
+            # every evaluation.  Dispatched before the compiled tables
+            # are built so that declarations the compiler would reject
+            # are reported as findings instead of raised.
+            from .sanitizer import sanitized_run
+
+            return sanitized_run(
+                self,
+                until,
+                warmup=warmup,
+                rewards=rewards,
+                traces=traces,
+                rng=rng,
+                stop_predicate=stop_predicate,
+                initial_marking=initial_marking,
+            )
 
         p = self.program
         c = p.tables()
@@ -1294,6 +1337,35 @@ class Simulator:
         # plain kernels and case kernels mutually exclusive, so the hot
         # dispatch needs one boolean load, not a second table probe.
         has_case = [ck is not None for ck in case_kern]
+
+        # Periodic kernel re-verification (``Simulator(verify_every=N)``):
+        # every N-th completion demotes the firing activity's verified
+        # state, so that completion re-runs the first-completion
+        # verification (Python functions, bit-identical writes, declared
+        # ops cross-checked).  A re-verification failure quarantines the
+        # compiled effect: the activity permanently drops to the Python
+        # path, the run continues — the verifier has already applied the
+        # true writes, so the marking is consistent — and one
+        # RuntimeWarning records the demotion.  ``strict=True`` re-raises
+        # the DeclarationError instead.
+        verify_every = self.verify_every
+        has_verify = verify_every is not None
+        quarantine = has_verify and not self.strict
+        verify_left = verify_every if has_verify else 0
+
+        def quarantine_effect(aid: int, exc: DeclarationError) -> None:
+            kernels[aid] = None
+            live_kernels[aid] = None
+            kern_ok[aid] = False
+            case_kern[aid] = None
+            has_case[aid] = False
+            warnings.warn(
+                f"quarantined compiled effect of activity "
+                f"{act_paths[aid]!r}; continuing on the Python path "
+                f"({exc})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
         # Rate-reward / binary-trace incremental state: slot -> observer
         # indices as flat list-of-lists indexed by slot (same shape as the
@@ -1685,7 +1757,7 @@ class Simulator:
                         f"{_slot_place(s)}: declared ops give "
                         f"{predicted[s]}, function wrote {values[s]}"
                     )
-                raise SimulationError(
+                raise DeclarationError(
                     f"activity {act_paths[aid]!r}: declared writes do not "
                     f"match {label} ({'; '.join(parts)})"
                 )
@@ -1743,12 +1815,29 @@ class Simulator:
         # the Python gate functions.
         def fire(aid: int) -> None:
             """Run gate functions and cases; writes land in ``changed``."""
-            nonlocal n_events, n_kernel_effects, n_case_kernels
+            nonlocal n_events, n_kernel_effects, n_case_kernels, verify_left
             n_events += 1
+            if has_verify:
+                verify_left -= 1
+                if verify_left <= 0:
+                    verify_left = verify_every
+                    if kern_ok[aid]:
+                        kern_ok[aid] = False
+                        live_kernels[aid] = None
+                    cflags = case_ok[aid]
+                    if cflags is not None:
+                        for _bi in range(len(cflags)):
+                            cflags[_bi] = False
             ops = kernels[aid]
             if ops is None:
                 if case_kern[aid] is not None:
-                    cops = select_case_branch(aid)
+                    try:
+                        cops = select_case_branch(aid)
+                    except DeclarationError as _exc:
+                        if not quarantine:
+                            raise
+                        quarantine_effect(aid, _exc)
+                        cops = None
                     if cops is not None:
                         n_case_kernels += 1
                         for slot, is_add, amount, _dl in cops:
@@ -1785,8 +1874,13 @@ class Simulator:
                         values[slot] = amount
                         changed.add(slot)
             else:
-                verify_kernel(aid)
-                kern_ok[aid] = True
+                try:
+                    verify_kernel(aid)
+                    kern_ok[aid] = True
+                except DeclarationError as _exc:
+                    if not quarantine:
+                        raise
+                    quarantine_effect(aid, _exc)
 
             if has_observers:
                 if now >= warmup:
@@ -2118,7 +2212,14 @@ class Simulator:
                 rewards=partial_rewards,
             )
 
-        observed = has_instants or has_watch or has_stop or has_probes or has_budget
+        observed = (
+            has_instants
+            or has_watch
+            or has_stop
+            or has_probes
+            or has_budget
+            or has_verify
+        )
         # True iff some slot feeds a tracked observer (python-refresh
         # reward or binary trace).  Computed after the t=0 evaluations,
         # so initial discovery is included; when False, the touched
@@ -2257,6 +2358,17 @@ class Simulator:
                 token[aid] = tok + 1
 
                 n_events += 1
+                if has_verify:
+                    verify_left -= 1
+                    if verify_left <= 0:
+                        verify_left = verify_every
+                        if kern_ok[aid]:
+                            kern_ok[aid] = False
+                            live_kernels[aid] = None
+                        cflags = case_ok[aid]
+                        if cflags is not None:
+                            for _bi in range(len(cflags)):
+                                cflags[_bi] = False
                 epoch += 1
                 stamp[aid] = epoch
                 dirty_append(aid)
@@ -2327,7 +2439,13 @@ class Simulator:
                     # uses; a verified branch applies its ops exactly like
                     # a gate-write kernel, a first selection verifies
                     # through the Python functions (writes drain below).
-                    cops = select_case_branch(aid)
+                    try:
+                        cops = select_case_branch(aid)
+                    except DeclarationError as _exc:
+                        if not quarantine:
+                            raise
+                        quarantine_effect(aid, _exc)
+                        cops = None
                     if cops is not None:
                         n_case_kernels += 1
                         for slot, is_add, amount, dl in cops:
@@ -2423,9 +2541,16 @@ class Simulator:
                             for og in og_fns[aid]:
                                 og(view, rng)
                     else:
-                        verify_kernel(aid)
-                        kern_ok[aid] = True
-                        live_kernels[aid] = kops
+                        try:
+                            verify_kernel(aid)
+                            kern_ok[aid] = True
+                            live_kernels[aid] = kops
+                        except DeclarationError as _exc:
+                            if not quarantine:
+                                raise
+                            # The verifier ran the Python functions, so
+                            # the true writes sit in ``changed``.
+                            quarantine_effect(aid, _exc)
                     while changed:
                         slot = changed_pop()
                         if form_upd[slot] is not None:
@@ -2784,8 +2909,27 @@ class Simulator:
         self.last_python_effects = n_events - n_kernel_effects - n_case_kernels
         end_time = now if stopped_early else until
         integrate_to(end_time)
+        # NaN/inf accumulation guard: a reward expression that produced a
+        # non-finite value poisons every downstream statistic silently
+        # (means, CIs, sweep tables), so fail the run loudly instead.
+        # Once per run, not per event — free on the hot path.
         for i in range(n_rates):
-            rate_results[i].integral = rate_integrals[i]
+            acc = rate_integrals[i]
+            if not math.isfinite(acc):
+                raise SimulationError(
+                    f"rate reward {rate_rewards[i].name!r} accumulated a "
+                    f"non-finite integral ({acc!r}); the reward expression "
+                    "produced NaN or inf during the run"
+                )
+            rate_results[i].integral = acc
+        for r in impulse_rewards:
+            _isum = results[r.name].impulse_sum
+            if not math.isfinite(_isum):
+                raise SimulationError(
+                    f"impulse reward {r.name!r} accumulated a non-finite "
+                    f"sum ({_isum!r}); an impulse value evaluated to NaN "
+                    "or inf during the run"
+                )
         if probe_pos < n_probes and not stopped_early:
             # The marking is constant from the last event to ``until``,
             # so remaining probes read the current values.  After an

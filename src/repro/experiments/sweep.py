@@ -46,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
@@ -296,15 +297,21 @@ def cell_digest(cell: SweepCell) -> str:
 class _CheckpointJournal:
     """Per-cell result journal backing ``run_sweep(checkpoint_dir=...)``.
 
-    One pickle file per completed cell, named by :func:`cell_digest`.
+    One file per completed cell, named by :func:`cell_digest`: a header
+    line carrying the SHA-256 of the pickled payload, then the payload.
     Writes are atomic (temp file + :func:`os.replace`), so a run killed
-    mid-write never leaves a truncated entry — at worst the cell is
-    absent and re-executes on resume, which is bit-identical by the
-    pure-cell contract.  Failed cells are never journaled: a resumed run
-    retries them.
+    mid-write never leaves a truncated entry.  ``load`` verifies the
+    payload digest before unpickling, so a truncated or garbled entry —
+    including bit corruption that would still unpickle — is detected,
+    reported with one :class:`RuntimeWarning`, and treated as absent:
+    the cell recomputes, which is bit-identical by the pure-cell
+    contract.  Headerless files are read as legacy plain-pickle entries
+    (journals written before the digest framing).  Failed cells are
+    never journaled: a resumed run retries them.
     """
 
     _MISS = object()
+    _MAGIC = b"repro-ckpt/sha256:"
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
@@ -313,22 +320,49 @@ class _CheckpointJournal:
     def _path(self, cell: SweepCell) -> Path:
         return self.directory / f"{cell_digest(cell)}.pkl"
 
+    def _corrupt(self, cell: SweepCell, path: Path, reason: str) -> object:
+        warnings.warn(
+            f"checkpoint entry {path.name} for cell {cell.key!r} is "
+            f"corrupt ({reason}); recomputing the cell",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return self._MISS
+
     def load(self, cell: SweepCell) -> object:
         """The journaled result, or ``_MISS`` when absent/unreadable."""
+        path = self._path(cell)
         try:
-            with open(self._path(cell), "rb") as fh:
-                return pickle.load(fh)
+            with open(path, "rb") as fh:
+                blob = fh.read()
         except FileNotFoundError:
             return self._MISS
-        except (OSError, EOFError, pickle.UnpicklingError, AttributeError):
-            # Unreadable entry (corrupt file, stale class): recompute.
-            return self._MISS
+        except OSError as exc:
+            return self._corrupt(cell, path, f"unreadable: {exc}")
+        if blob.startswith(self._MAGIC):
+            header, sep, payload = blob.partition(b"\n")
+            digest = header[len(self._MAGIC):].decode("ascii", "replace")
+            if not sep:
+                return self._corrupt(cell, path, "truncated header")
+            if hashlib.sha256(payload).hexdigest() != digest:
+                return self._corrupt(cell, path, "payload digest mismatch")
+        else:
+            payload = blob
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            # Unreadable entry (corrupt payload, stale class): recompute.
+            return self._corrupt(
+                cell, path, f"unpicklable: {type(exc).__name__}: {exc}"
+            )
 
     def store(self, cell: SweepCell, result: object) -> None:
         path = self._path(cell)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        payload = pickle.dumps(result)
+        header = self._MAGIC + hashlib.sha256(payload).hexdigest().encode()
         with open(tmp, "wb") as fh:
-            pickle.dump(result, fh)
+            fh.write(header + b"\n" + payload)
         os.replace(tmp, path)
 
 

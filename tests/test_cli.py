@@ -100,3 +100,85 @@ class TestResilienceFlags:
         assert len(journaled) == 5  # one entry per table cell
         assert main(["tables", "--resume", str(ckpt)]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestFriendlyValidation:
+    """Bad flag values die with exit 2 and a one-line message naming them."""
+
+    def _expect_exit2(self, argv, capsys, needle):
+        with pytest.raises(SystemExit) as exc_info:
+            main(argv)
+        assert exc_info.value.code == 2
+        assert needle in capsys.readouterr().err
+
+    def test_rel_ci_out_of_range(self, capsys):
+        self._expect_exit2(
+            ["simulate", "abe", "--rel-ci", "1.5"], capsys, "must be in (0, 1), got 1.5"
+        )
+        self._expect_exit2(
+            ["rare", "--rel-ci", "0"], capsys, "must be in (0, 1), got 0.0"
+        )
+
+    def test_splitting_not_increasing(self, capsys):
+        self._expect_exit2(
+            ["rare", "--splitting", "3,2,5"],
+            capsys,
+            "thresholds must be strictly increasing, got '3,2,5'",
+        )
+
+    def test_splitting_not_numbers(self, capsys):
+        self._expect_exit2(
+            ["rare", "--splitting", "one,two"],
+            capsys,
+            "thresholds must be comma-separated numbers, got 'one,two'",
+        )
+
+    def test_splitting_flag_forms(self):
+        parser = build_parser()
+        assert parser.parse_args(["rare"]).splitting is False
+        assert parser.parse_args(["rare", "--splitting"]).splitting is True
+        assert parser.parse_args(["rare", "--splitting", "1,2,3"]).splitting == (
+            1.0,
+            2.0,
+            3.0,
+        )
+
+    def test_bad_chaos_env_exits_2(self, monkeypatch, capsys):
+        from repro import cli
+
+        ran = []
+        monkeypatch.setitem(cli._COMMANDS, "tables", lambda args: ran.append(1) or 0)
+        monkeypatch.setenv("REPRO_CHAOS", "{not json")
+        assert main(["tables"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid REPRO_CHAOS value" in err
+        assert "'{not json'" in err
+        assert not ran  # validation short-circuits before dispatch
+
+    def test_good_chaos_env_still_dispatches(self, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setitem(cli._COMMANDS, "tables", lambda args: 0)
+        monkeypatch.setenv("REPRO_CHAOS", '{"simulate": 0.0}')
+        assert main(["tables"]) == 0
+
+
+class TestSanitizerCommands:
+    def test_lint_single_model(self, capsys):
+        assert main(["lint", "abe"]) == 0
+        out = capsys.readouterr().out
+        assert "abe" in out and "clean" in out
+
+    def test_lint_unknown_model(self, capsys):
+        assert main(["lint", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model 'warp-drive'" in err
+
+    def test_simulate_sanitize(self, capsys):
+        code = main(
+            ["simulate", "abe", "--hours", "1000", "--seed", "5", "--sanitize"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sanitizer:" in out
+        assert "0 violation(s)" in out

@@ -667,3 +667,173 @@ class TestSweepResilience:
         assert result.failures == {}
         assert result.completed == {"a": 4}
         assert isinstance(result, SweepResult)
+
+
+# ----------------------------------------------------------------------
+# checkpoint-journal integrity (digest framing; PR 6 resume semantics)
+# ----------------------------------------------------------------------
+class TestJournalCorruption:
+    """A damaged journal entry is detected, reported once, and recomputed.
+
+    The journal frames every entry with a SHA-256 of the pickled payload,
+    so even corruption that still unpickles cleanly cannot smuggle a
+    wrong result into a resumed grid.
+    """
+
+    def _journal_one(self, tmp_path):
+        d = str(tmp_path / "ckpt")
+        log = str(tmp_path / "log")
+        os.makedirs(log, exist_ok=True)
+        cells = [SweepCell(7, _journaled_cell, (7,), {"log_dir": log})]
+        first = run_sweep(cells, n_jobs=1, checkpoint_dir=d)
+        assert dict(first) == {7: 49}
+        assert _executions(log, 7) == 1
+        (entry,) = (tmp_path / "ckpt").glob("*.pkl")
+        return d, log, cells, entry
+
+    def _assert_recomputed(self, d, log, cells, reason):
+        with pytest.warns(RuntimeWarning, match=reason) as caught:
+            result = run_sweep(cells, n_jobs=1, checkpoint_dir=d)
+        hits = [w for w in caught if "recomputing the cell" in str(w.message)]
+        assert len(hits) == 1
+        assert "cell 7" in str(hits[0].message)
+        assert dict(result) == {7: 49}
+
+    def test_bitflip_payload_digest_mismatch(self, tmp_path):
+        d, log, cells, entry = self._journal_one(tmp_path)
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF  # single bit-level corruption deep in the payload
+        entry.write_bytes(bytes(blob))
+        self._assert_recomputed(d, log, cells, "payload digest mismatch")
+        assert _executions(log, 7) == 2
+
+    def test_truncated_entry(self, tmp_path):
+        d, log, cells, entry = self._journal_one(tmp_path)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(blob) - 3])  # lose the payload tail
+        self._assert_recomputed(d, log, cells, "payload digest mismatch")
+
+    def test_header_only_entry(self, tmp_path):
+        d, log, cells, entry = self._journal_one(tmp_path)
+        header = entry.read_bytes().partition(b"\n")[0]
+        entry.write_bytes(header)  # lost everything after the header line
+        self._assert_recomputed(d, log, cells, "truncated header")
+
+    def test_garbage_entry_unpicklable(self, tmp_path):
+        d, log, cells, entry = self._journal_one(tmp_path)
+        entry.write_bytes(b"\x00\xff not a journal entry")
+        self._assert_recomputed(d, log, cells, "unpicklable")
+
+    def test_recompute_repairs_the_entry(self, tmp_path):
+        d, log, cells, entry = self._journal_one(tmp_path)
+        entry.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning):
+            run_sweep(cells, n_jobs=1, checkpoint_dir=d)
+        # The recomputed result was re-journaled: the next resume is silent
+        # and loads without executing.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = run_sweep(cells, n_jobs=1, checkpoint_dir=d)
+        assert dict(result) == {7: 49}
+        assert _executions(log, 7) == 2
+
+    def test_legacy_headerless_entry_still_loads(self, tmp_path):
+        """Journals written before the digest framing read transparently."""
+        d, log, cells, entry = self._journal_one(tmp_path)
+        payload = entry.read_bytes().partition(b"\n")[2]
+        entry.write_bytes(payload)  # strip the header: pre-framing format
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = run_sweep(cells, n_jobs=1, checkpoint_dir=d)
+        assert dict(result) == {7: 49}
+        assert _executions(log, 7) == 1  # loaded, not recomputed
+
+
+# ----------------------------------------------------------------------
+# wall-clock sanity: budgets and watchdogs ride time.monotonic()
+# ----------------------------------------------------------------------
+class TestMonotonicClocks:
+    """System-clock jumps (NTP step, manual reset) must not trip budgets.
+
+    Both the simulator's ``max_wall_s`` budget and the supervised
+    executor's task-timeout watchdog are specified against
+    ``time.monotonic()``; these regressions pin that by yanking
+    ``time.time`` forward thirty years mid-run.
+    """
+
+    @pytest.fixture
+    def jumped_wall_clock(self, monkeypatch):
+        import time as time_module
+
+        real = time_module.time
+        monkeypatch.setattr(time_module, "time", lambda: real() + 1e9)
+
+    def test_simulator_wall_budget_ignores_wall_jump(
+        self, two_state_model, jumped_wall_clock
+    ):
+        sim = Simulator(two_state_model, base_seed=7, max_wall_s=60.0)
+        result = sim.run(2000.0)  # finishes in milliseconds of real time
+        assert result.final_time == 2000.0
+        assert result.n_events > 0
+
+    def test_supervised_timeout_ignores_wall_jump(self, jumped_wall_clock):
+        out = run_tasks_supervised(
+            [(i, i) for i in range(4)],
+            _square_task,
+            n_jobs=2,
+            retry=RetryPolicy(timeout_s=120.0, base_delay_s=0.0),
+        )
+        assert out == {i: i * i for i in range(4)}
+
+
+# ----------------------------------------------------------------------
+# serial-fallback warning: once per process, results unchanged
+# ----------------------------------------------------------------------
+class TestSerialFallbackWarning:
+    def test_nested_pool_failure_warns_once_and_matches_serial(
+        self, monkeypatch, tmp_path
+    ):
+        """When pool creation breaks at *both* nesting levels (outer sweep
+        pool and inner replication pool), the degradation warning fires
+        exactly once per process and the results are bit-identical to a
+        plain serial run."""
+        from repro.core import resilience
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork: resource temporarily unavailable")
+
+        want = run_sweep(_storage_cells(n=2), n_jobs=1)
+
+        monkeypatch.setattr(resilience, "_SERIAL_FALLBACK_WARNED", False)
+        monkeypatch.setattr(resilience, "ProcessPoolExecutor", no_pool)
+        cells = [c.with_inner_jobs(2) for c in _storage_cells(n=2)]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = run_sweep(cells, n_jobs=2)
+        fallbacks = [
+            w for w in caught if "worker pool unavailable" in str(w.message)
+        ]
+        assert len(fallbacks) == 1
+        assert issubclass(fallbacks[0].category, RuntimeWarning)
+        assert _sweep_samples(got) == _sweep_samples(want)
+
+    def test_flag_suppresses_repeat_warnings(self, monkeypatch):
+        from repro.core import resilience
+
+        monkeypatch.setattr(resilience, "_SERIAL_FALLBACK_WARNED", False)
+        monkeypatch.setattr(
+            resilience,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no pool")),
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                out = run_tasks_supervised(
+                    [(i, i) for i in range(3)], _square_task, n_jobs=2
+                )
+                assert out == {0: 0, 1: 1, 2: 4}
+        fallbacks = [
+            w for w in caught if "worker pool unavailable" in str(w.message)
+        ]
+        assert len(fallbacks) == 1

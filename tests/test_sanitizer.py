@@ -1,0 +1,296 @@
+"""Model-integrity sanitizer: bit-identity, quarantine, lint, hardening.
+
+The contract under test, in four layers:
+
+* ``engine="sanitize"`` is the per-draw reference engine with shadow
+  declaration checking bolted on: its trajectories, rewards, traces and
+  final markings are **bit-identical** to ``engine="reference"`` with
+  ``sample_batch=None`` on the same stream — on toy models and on the
+  paper's shipped cluster/storage models;
+* ``strict`` escalates recorded violations to :class:`SanitizerError`
+  carrying the full report;
+* ``Simulator(verify_every=N)`` periodically re-verifies compiled
+  kernels on the fast path; a failed re-verification quarantines the
+  kernel to the Python path with exactly one :class:`RuntimeWarning`
+  (``strict=True`` raises instead), and a clean model's trajectory is
+  unchanged by any ``verify_every``;
+* the fast path refuses to report a non-finite reward accumulation as
+  a result.
+
+``tests/test_mutants.py`` owns detection coverage; this file owns the
+engine-integration semantics.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cfs import ClusterModel, StorageModel
+from repro.cfs.parameters import abe_parameters, petascale_parameters
+from repro.core import (
+    DeclarationError,
+    Exponential,
+    RateReward,
+    SAN,
+    SanitizerError,
+    SimulationError,
+    Simulator,
+    flatten,
+    lint_model,
+)
+
+from _mutants import _machine, _m_wrong_add_amount, run_sanitize
+
+
+def assert_runs_identical(a, b):
+    """Full bit-identity between two RunResults."""
+    assert a.final_time == b.final_time
+    assert a.duration == b.duration
+    assert a.n_events == b.n_events
+    assert a.stopped_early == b.stopped_early
+    assert a.final_marking == b.final_marking
+    assert set(a.rewards) == set(b.rewards)
+    for name, ra in a.rewards.items():
+        rb = b.rewards[name]
+        assert ra.integral == rb.integral, name
+        assert ra.impulse_sum == rb.impulse_sum, name
+        assert ra.count == rb.count, name
+        assert ra.duration == rb.duration, name
+        assert ra.instants == rb.instants, name
+    assert set(a.traces) == set(b.traces)
+    for name, ta in a.traces.items():
+        tb = b.traces[name]
+        if hasattr(ta, "intervals_where"):
+            assert ta.intervals_where(True) == tb.intervals_where(True), name
+            assert ta.intervals_where(False) == tb.intervals_where(False), name
+
+
+def _sanitize_sim(model, seed=11):
+    return Simulator(model, base_seed=seed, sample_batch=None, engine="sanitize")
+
+
+def _reference_sim(model, seed=11):
+    return Simulator(model, base_seed=seed, sample_batch=None, engine="reference")
+
+
+class TestBitIdentity:
+    def test_machine_differential(self):
+        san, _ = _machine(), None
+        model = flatten(san)
+        reward = RateReward("avail", lambda m: float(m["m/up"]))
+        for seed in (0, 11, 404):
+            got = _sanitize_sim(model, seed).run(3000.0, rewards=(reward,))
+            want = _reference_sim(model, seed).run(3000.0, rewards=(reward,))
+            assert_runs_identical(got, want)
+            assert got.sanitizer_report is not None
+            assert got.sanitizer_report.ok
+
+    def test_warmup_stop_and_restart(self):
+        model = flatten(_machine())
+        kw = dict(
+            warmup=250.0,
+            rewards=(RateReward("avail", lambda m: float(m["m/up"])),),
+            stop_predicate=lambda m: m["m/count"] >= 5,
+        )
+        got = _sanitize_sim(model).run(2000.0, **kw)
+        want = _reference_sim(model).run(2000.0, **kw)
+        assert_runs_identical(got, want)
+        assert got.stopped_early
+        # Restart both engines from the stop marking: still lock-step.
+        got2 = _sanitize_sim(model, seed=5).run(
+            500.0, initial_marking=got.final_marking
+        )
+        want2 = _reference_sim(model, seed=5).run(
+            500.0, initial_marking=want.final_marking
+        )
+        assert_runs_identical(got2, want2)
+
+    @pytest.mark.slow
+    def test_abe_cluster_differential(self):
+        cluster = ClusterModel(abe_parameters())
+        meas = cluster.measures
+        kw = dict(rewards=meas.rewards, traces=meas.traces_factory())
+        got = _sanitize_sim(cluster.model, seed=2008).run(
+            2000.0,
+            rewards=meas.rewards,
+            traces=meas.traces_factory(),
+        )
+        want = _reference_sim(cluster.model, seed=2008).run(2000.0, **kw)
+        assert_runs_identical(got, want)
+        assert got.sanitizer_report.ok, got.sanitizer_report.format()
+        # The shadow checker actually exercised every checker family.
+        checks = got.sanitizer_report.checks
+        assert checks["write_checks"] > 0
+        assert checks["predicate_evals"] > 0
+        assert checks["reward_evals"] > 0
+
+    @pytest.mark.slow
+    def test_storage_model_differential(self):
+        storage = StorageModel(abe_parameters())
+        got = _sanitize_sim(storage.model, seed=96).run(4000.0)
+        want = _reference_sim(storage.model, seed=96).run(4000.0)
+        assert_runs_identical(got, want)
+
+
+class TestReportAndStrict:
+    def test_plain_runs_have_no_report(self):
+        model = flatten(_machine())
+        res = Simulator(model, base_seed=3).run(500.0)
+        assert res.sanitizer_report is None
+        res = _reference_sim(model, seed=3).run(500.0)
+        assert res.sanitizer_report is None
+
+    def test_violation_provenance(self):
+        san, _ = _m_wrong_add_amount(True)
+        report = run_sanitize(san, hours=400.0)
+        assert not report.ok
+        v = report.violations[0]
+        assert v.kind == "write-mismatch"
+        assert v.subject == "m/repair"
+        assert v.place == "m/count"
+        assert v.event_index is not None and v.event_index >= 0
+        assert v.sim_time is not None and v.sim_time > 0.0
+        assert "declared ops give" in v.message
+        # and the report self-describes
+        text = report.format()
+        assert "write-mismatch" in text and "m/count" in text
+
+    def test_dedup_one_violation_per_site(self):
+        # The machine fails/repairs dozens of times; the same defect is
+        # reported once, with first-occurrence provenance.
+        san, _ = _m_wrong_add_amount(True)
+        report = run_sanitize(san, hours=2000.0)
+        mismatches = [v for v in report.violations if v.kind == "write-mismatch"]
+        assert len(mismatches) == 1
+
+    def test_default_warns_strict_raises(self):
+        san, _ = _m_wrong_add_amount(True)
+        model = flatten(san)
+        with pytest.warns(RuntimeWarning, match="sanitizer violations"):
+            res = _sanitize_sim(model).run(400.0)
+        assert not res.sanitizer_report.ok
+
+        strict = Simulator(
+            model, base_seed=11, sample_batch=None, sanitize=True, strict=True
+        )
+        with pytest.raises(SanitizerError) as exc_info:
+            strict.run(400.0)
+        assert exc_info.value.report is not None
+        assert not exc_info.value.report.ok
+
+    def test_sanitize_flag_conflicts(self):
+        model = flatten(_machine())
+        with pytest.raises(SimulationError, match="conflicts"):
+            Simulator(model, sanitize=True, engine="reference")
+        with pytest.raises(SimulationError, match="verify_every"):
+            Simulator(model, verify_every=0)
+        sim = Simulator(model, sanitize=True)
+        assert sim.engine == "sanitize"
+
+
+class TestVerifyEveryQuarantine:
+    def test_clean_model_identical_under_reverification(self):
+        model = flatten(_machine())
+        reward = RateReward("avail", lambda m: float(m["m/up"]))
+        want = Simulator(model, base_seed=7).run(3000.0, rewards=(reward,))
+        for every in (1, 3, 100):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                got = Simulator(model, base_seed=7, verify_every=every).run(
+                    3000.0, rewards=(reward,)
+                )
+            assert_runs_identical(got, want)
+
+    def test_bad_declaration_raises_without_verify_every(self):
+        san, _ = _m_wrong_add_amount(True)
+        with pytest.raises(DeclarationError):
+            Simulator(flatten(san), base_seed=7).run(400.0)
+
+    def test_quarantine_warns_once_and_matches_reference(self):
+        san, _ = _m_wrong_add_amount(True)
+        model = flatten(san)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = Simulator(
+                model, base_seed=7, sample_batch=None, verify_every=1
+            ).run(2000.0)
+        quarantines = [
+            w for w in caught if "quarantined" in str(w.message)
+        ]
+        assert len(quarantines) == 1
+        assert issubclass(quarantines[0].category, RuntimeWarning)
+        assert "m/repair" in str(quarantines[0].message)
+        # Quarantined = the Python effect stays authoritative, so the run
+        # equals the reference engine executing the same (buggy) effect.
+        want = _reference_sim(model, seed=7).run(2000.0)
+        assert_runs_identical(got, want)
+
+    def test_quarantine_strict_raises(self):
+        san, _ = _m_wrong_add_amount(True)
+        with pytest.raises(DeclarationError):
+            Simulator(
+                flatten(san), base_seed=7, verify_every=1, strict=True
+            ).run(2000.0)
+
+    def test_quarantine_persists_across_runs(self):
+        san, _ = _m_wrong_add_amount(True)
+        sim = Simulator(flatten(san), base_seed=7, sample_batch=None, verify_every=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sim.run(2000.0)
+            sim.run(2000.0)
+        quarantines = [w for w in caught if "quarantined" in str(w.message)]
+        assert len(quarantines) == 1
+
+
+class TestNonFiniteRewardGuard:
+    def test_fast_path_refuses_nan_integral(self):
+        model = flatten(_machine())
+        bad = RateReward(
+            "haz",
+            lambda m: float("nan") if m["m/count"] >= 1 else 1.0,
+        )
+        with pytest.raises(SimulationError, match="non-finite"):
+            Simulator(model, base_seed=7).run(2000.0, rewards=(bad,))
+
+    def test_sanitize_reports_instead(self):
+        san = _machine()
+        bad = RateReward(
+            "haz",
+            lambda m: float("nan") if m["m/count"] >= 1 else 1.0,
+        )
+        report = run_sanitize(san, rewards=(bad,), hours=2000.0)
+        kinds = {v.kind for v in report.violations}
+        assert "non-finite-reward" in kinds
+
+
+class TestShippedModelsLintClean:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: ClusterModel(abe_parameters()),
+            lambda: ClusterModel(abe_parameters().with_spare_oss(1)),
+            lambda: StorageModel(abe_parameters()),
+        ],
+        ids=["abe", "abe-spare", "abe-storage"],
+    )
+    def test_abe_family(self, build):
+        report = lint_model(build())
+        assert report.ok, report.format()
+        assert report.coverage["n_activities"] > 0
+        assert report.coverage["declared_reads"] > 0
+
+    @pytest.mark.slow
+    def test_petascale(self):
+        report = lint_model(ClusterModel(petascale_parameters()))
+        assert report.ok, report.format()
+
+    def test_lint_accepts_san_node_flat_and_facade(self):
+        san = _machine()
+        for form in (san, flatten(san)):
+            assert lint_model(form).ok
+        with pytest.raises(SimulationError, match="lint_model expects"):
+            lint_model(object())
